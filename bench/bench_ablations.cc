@@ -1,0 +1,133 @@
+// Experiment E13 — ablations: every clause of Upsilon's definition and
+// every phase of the constructions is load-bearing. Removing any one of
+// them produces a measurable failure (livelock or agreement violation),
+// under schedules the intact system handles.
+#include <functional>
+#include <set>
+
+#include "bench_util.h"
+#include "core/ablations.h"
+
+namespace wfd {
+namespace {
+
+using bench::Table;
+using core::Pick;
+using sim::Coro;
+using sim::Env;
+using sim::FailurePattern;
+using sim::Unit;
+
+void axiomTable() {
+  bench::banner(
+      "E13a — Upsilon's axioms ablated (Fig. 1, lockstep, 200k-step budget)");
+  Table t({"n+1", "detector history", "legal Upsilon?", "deciders",
+           "outcome"});
+  for (int n_plus_1 : {3, 5}) {
+    const auto fp = FailurePattern::failureFree(n_plus_1);
+    struct Case {
+      const char* label;
+      fd::FdPtr det;
+      bool legal;
+    };
+    const Case cases[] = {
+        {"stable U != correct(F)", fd::makeUpsilon(fp, 0), true},
+        {"stable U == correct(F)   [axiom 2 dropped]",
+         core::axiom2ViolatingDetector(fp), false},
+        {"flapping forever         [axiom 1 dropped]",
+         core::axiom1ViolatingDetector(), false},
+    };
+    for (const auto& c : cases) {
+      const int deciders =
+          core::fig1DecidersUnder(c.det, n_plus_1, 200'000);
+      const bool expected = c.legal ? deciders == n_plus_1 : deciders == 0;
+      t.addRow({bench::fmt(n_plus_1), c.label, c.legal ? "yes" : "NO",
+                bench::fmt(deciders),
+                expected ? (c.legal ? "decides" : "livelocks (as proved)")
+                         : "UNEXPECTED"});
+    }
+  }
+  t.print();
+}
+
+Coro<Unit> naiveShot(Env& env, Value v) {
+  const Pick p =
+      co_await core::kConvergeNaive(env, sim::ObjKey{"e13.conv"}, 1, v);
+  env.note(p.committed ? "commit" : "adopt", RegVal(p.value));
+  co_return Unit{};
+}
+
+Coro<Unit> realShot(Env& env, Value v) {
+  const Pick p = co_await core::kConverge(env, sim::ObjKey{"e13.conv"}, 1, v);
+  env.note(p.committed ? "commit" : "adopt", RegVal(p.value));
+  co_return Unit{};
+}
+
+// Exhaustively count C-Agreement violations over all interleavings of
+// two processes, for the naive one-phase converge vs the real one.
+int countViolations(const sim::AlgoFn& algo, int steps_each) {
+  int violations = 0;
+  std::vector<int> remaining = {steps_each, steps_each};
+  std::vector<Pid> seq;
+  const std::function<void()> rec = [&] {
+    if (static_cast<int>(seq.size()) == 2 * steps_each) {
+      sim::RunConfig cfg;
+      cfg.n_plus_1 = 2;
+      sim::Run run(cfg, algo, {100, 101});
+      sim::ScriptedPolicy policy(seq,
+                                 std::make_unique<sim::RoundRobinPolicy>());
+      const Time taken = run.scheduler().run(policy, 1000);
+      const auto rr = run.finish(taken);
+      bool any_commit = false;
+      std::set<Value> picked;
+      for (const auto& e : rr.trace().events()) {
+        if (e.kind != sim::EventKind::kNote) continue;
+        any_commit |= (e.label == "commit");
+        picked.insert(e.value.asInt());
+      }
+      if (any_commit && picked.size() > 1) ++violations;
+      return;
+    }
+    for (Pid p = 0; p < 2; ++p) {
+      if (remaining[static_cast<std::size_t>(p)] == 0) continue;
+      --remaining[static_cast<std::size_t>(p)];
+      seq.push_back(p);
+      rec();
+      seq.pop_back();
+      ++remaining[static_cast<std::size_t>(p)];
+    }
+  };
+  rec();
+  return violations;
+}
+
+void convergeTable() {
+  bench::banner(
+      "E13b — k-converge's phase 2 ablated (exhaustive 2-process schedules, "
+      "k = 1, distinct inputs)");
+  Table t({"routine", "schedules", "C-Agreement violations", "outcome"});
+  const int naive = countViolations(
+      [](Env& e, Value v) { return naiveShot(e, v); }, 2);
+  t.addRow({"naive 1-phase converge", "6", bench::fmt(naive),
+            naive > 0 ? "broken (as expected)" : "UNEXPECTED"});
+  const int real = countViolations(
+      [](Env& e, Value v) { return realShot(e, v); }, 4);
+  t.addRow({"k-converge (full)", "70", bench::fmt(real),
+            real == 0 ? "correct" : "BROKEN"});
+  t.print();
+}
+
+}  // namespace
+}  // namespace wfd
+
+int main() {
+  using namespace wfd;
+  axiomTable();
+  convergeTable();
+  std::puts("");
+  std::puts("Every ablated ingredient fails exactly as the paper's proofs");
+  std::puts("predict: axiom (2) is what guarantees a faulty gladiator or a");
+  std::puts("correct citizen; axiom (1) is what lets rounds stop aborting;");
+  std::puts("the tag-exchange phase is what makes commits bind adopters.");
+  return 0;
+}

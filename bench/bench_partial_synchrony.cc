@@ -1,0 +1,112 @@
+// Experiment E12 (extension; paper §1 motivation): timing assumptions
+// provide failure information. Omega is *implemented* (no oracle) from
+// heartbeats + adaptive timeouts under an eventually-synchronous
+// scheduler, then composed through the paper's reductions down to
+// Upsilon and Fig. 1 set agreement:
+//
+//   eventual synchrony -> Omega -> complement -> Upsilon -> decisions.
+#include "bench_util.h"
+
+namespace wfd {
+namespace {
+
+using bench::Table;
+using sim::Env;
+using sim::FailurePattern;
+using sim::RunConfig;
+using sim::RunResult;
+
+RunResult runImpl(int n_plus_1, const FailurePattern& fp, Time gst,
+                  std::uint64_t seed, Time horizon) {
+  RunConfig cfg;
+  cfg.n_plus_1 = n_plus_1;
+  cfg.fp = fp;
+  cfg.seed = seed;
+  sim::Run run(
+      cfg, [](Env& e, Value) { return core::omegaFromEventualSynchrony(e); },
+      std::vector<Value>(static_cast<std::size_t>(n_plus_1), 0));
+  sim::EventuallySynchronousPolicy policy(gst);
+  const Time taken = run.scheduler().run(policy, horizon);
+  return run.finish(taken);
+}
+
+void omegaTable() {
+  bench::banner("E12a — Omega implemented from eventual synchrony");
+  Table t({"n+1", "GST", "crashes", "median stabilization", "lag after GST",
+           "Omega axioms"});
+  for (int n_plus_1 : {3, 4, 6}) {
+    for (const Time gst : {1000L, 8000L}) {
+      for (int crashes : {0, n_plus_1 - 1}) {
+        bool ok = true;
+        std::vector<Time> stab;
+        for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+          const auto fp =
+              crashes == 0
+                  ? FailurePattern::failureFree(n_plus_1)
+                  : FailurePattern::random(n_plus_1, crashes, gst, seed * 13);
+          const auto rr = runImpl(n_plus_1, fp, gst, seed,
+                                  gst * 4 + 150'000);
+          const auto rep = core::checkEmulatedOmega(rr);
+          ok = ok && rep.ok() &&
+               rep.stable_value == ProcSet::singleton(fp.correct().min());
+          stab.push_back(rep.last_change);
+        }
+        const Time med = bench::median(std::move(stab));
+        t.addRow({bench::fmt(n_plus_1), bench::fmt(gst), bench::fmt(crashes),
+                  bench::fmt(med), bench::fmt(std::max<Time>(0, med - gst)),
+                  bench::passFail(ok)});
+      }
+    }
+  }
+  t.print();
+}
+
+void chainTable() {
+  bench::banner(
+      "E12b — full chain: synchrony -> Omega -> Upsilon -> set agreement");
+  Table t({"n+1", "crash pattern", "Omega stable", "Fig.1 distinct (<=n)",
+           "chain"});
+  for (int n_plus_1 : {3, 4, 5}) {
+    for (int variant = 0; variant < 2; ++variant) {
+      const auto fp = variant == 0
+                          ? FailurePattern::failureFree(n_plus_1)
+                          : FailurePattern::withCrashes(n_plus_1, {{1, 700}});
+      const auto stage1 = runImpl(n_plus_1, fp, 2000, 5, 120'000);
+      const auto ro = core::checkEmulatedOmega(stage1);
+      const auto upsilon = fd::makeComplemented(
+          fd::makeRecorded(stage1.trace(), n_plus_1, ProcSet::singleton(0),
+                           "omega-impl"),
+          n_plus_1);
+      std::vector<Value> props(static_cast<std::size_t>(n_plus_1));
+      for (int i = 0; i < n_plus_1; ++i) props[static_cast<std::size_t>(i)] = 100 + i;
+      RunConfig cfg;
+      cfg.n_plus_1 = n_plus_1;
+      cfg.fp = fp;
+      cfg.fd = upsilon;
+      cfg.seed = 6;
+      const auto stage2 = sim::runTask(
+          cfg, [](Env& e, Value v) { return core::upsilonSetAgreement(e, v); },
+          props);
+      const auto rs = core::checkKSetAgreement(stage2, n_plus_1 - 1, props);
+      t.addRow({bench::fmt(n_plus_1), variant == 0 ? "none" : "p2@700",
+                ro.stable_value.toString(), bench::fmt(rs.distinct),
+                bench::passFail(ro.ok() && rs.ok())});
+    }
+  }
+  t.print();
+}
+
+}  // namespace
+}  // namespace wfd
+
+int main() {
+  using namespace wfd;
+  omegaTable();
+  chainTable();
+  std::puts("");
+  std::puts("Extension reproducing the paper's introductory motivation:");
+  std::puts("timeout/heartbeat mechanisms under partial synchrony yield the");
+  std::puts("failure information the oracles abstract — grounding the");
+  std::puts("hierarchy Omega > Omega_n > Upsilon in a timing assumption.");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Experiment E11 — substrate microbenchmarks (google-benchmark):
+//   * simulator step throughput (coroutine scheduling + register ops),
+//   * atomic snapshot cost, native vs the Afek et al. register
+//     construction (the price of discharging the paper's "snapshots are
+//     implementable from registers" assumption),
+//   * one full k-converge invocation across system sizes.
+#include <benchmark/benchmark.h>
+
+#include "wfd.h"
+
+namespace wfd {
+namespace {
+
+using sim::Coro;
+using sim::Env;
+using sim::RunConfig;
+using sim::SnapshotFlavor;
+using sim::Unit;
+
+Coro<Unit> registerPingPong(Env& env, int iters) {
+  const sim::ObjId r = env.reg(sim::ObjKey{"bench.r", env.me()});
+  for (int i = 0; i < iters; ++i) {
+    co_await env.write(r, RegVal(static_cast<Value>(i)));
+    co_await env.read(r);
+  }
+  co_return Unit{};
+}
+
+void BM_SimulatorSteps(benchmark::State& state) {
+  const int n_plus_1 = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    RunConfig cfg;
+    cfg.n_plus_1 = n_plus_1;
+    const auto rr = sim::runTask(
+        cfg, [](Env& e, Value) { return registerPingPong(e, 500); },
+        std::vector<Value>(static_cast<std::size_t>(n_plus_1), 0));
+    benchmark::DoNotOptimize(rr.steps);
+    state.counters["steps"] = static_cast<double>(rr.steps);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000 * n_plus_1);
+}
+BENCHMARK(BM_SimulatorSteps)->Arg(2)->Arg(4)->Arg(8);
+
+Coro<Unit> snapshotChurn(Env& env, SnapshotFlavor flavor, int iters) {
+  const auto h = mem::makeSnapshot(sim::ObjKey{"bench.snap"}, env.nProcs(),
+                                   flavor);
+  for (int i = 0; i < iters; ++i) {
+    co_await mem::snapshotUpdate(env, h, env.me(),
+                                 RegVal(static_cast<Value>(i)));
+    const auto view = co_await mem::snapshotScan(env, h);
+    benchmark::DoNotOptimize(view.size());
+  }
+  co_return Unit{};
+}
+
+void BM_Snapshot(benchmark::State& state) {
+  const int n_plus_1 = static_cast<int>(state.range(0));
+  const auto flavor = static_cast<SnapshotFlavor>(state.range(1));
+  Time steps = 0;
+  for (auto _ : state) {
+    RunConfig cfg;
+    cfg.n_plus_1 = n_plus_1;
+    cfg.flavor = flavor;
+    const auto rr = sim::runTask(
+        cfg,
+        [flavor](Env& e, Value) { return snapshotChurn(e, flavor, 100); },
+        std::vector<Value>(static_cast<std::size_t>(n_plus_1), 0));
+    steps = rr.steps;
+    benchmark::DoNotOptimize(rr.steps);
+  }
+  // Simulated atomic steps per update+scan pair: the model-cost gap
+  // between the base object and the register construction.
+  state.counters["sim_steps_per_pair"] =
+      static_cast<double>(steps) / (100.0 * n_plus_1);
+}
+BENCHMARK(BM_Snapshot)
+    ->ArgsProduct({{2, 4, 8},
+                   {static_cast<long>(SnapshotFlavor::kNative),
+                    static_cast<long>(SnapshotFlavor::kAfek)}});
+
+void BM_KConverge(benchmark::State& state) {
+  const int n_plus_1 = static_cast<int>(state.range(0));
+  const auto flavor = static_cast<SnapshotFlavor>(state.range(1));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    RunConfig cfg;
+    cfg.n_plus_1 = n_plus_1;
+    cfg.flavor = flavor;
+    cfg.seed = ++seed;
+    std::vector<Value> props(static_cast<std::size_t>(n_plus_1));
+    for (int i = 0; i < n_plus_1; ++i) props[static_cast<std::size_t>(i)] = i;
+    const auto rr = sim::runTask(
+        cfg,
+        [n_plus_1](Env& e, Value v) -> Coro<Unit> {
+          const auto p = co_await core::kConverge(
+              e, sim::ObjKey{"bench.conv"}, n_plus_1 - 1, v + 1);
+          benchmark::DoNotOptimize(p.committed);
+          co_return Unit{};
+        },
+        props);
+    benchmark::DoNotOptimize(rr.steps);
+  }
+}
+BENCHMARK(BM_KConverge)
+    ->ArgsProduct({{2, 4, 8},
+                   {static_cast<long>(SnapshotFlavor::kNative),
+                    static_cast<long>(SnapshotFlavor::kAfek)}});
+
+void BM_Fig1EndToEnd(benchmark::State& state) {
+  const int n_plus_1 = static_cast<int>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    const auto fp = sim::FailurePattern::failureFree(n_plus_1);
+    RunConfig cfg;
+    cfg.n_plus_1 = n_plus_1;
+    cfg.fp = fp;
+    cfg.fd = fd::makeUpsilon(fp, 100, ++seed);
+    cfg.seed = seed;
+    std::vector<Value> props(static_cast<std::size_t>(n_plus_1));
+    for (int i = 0; i < n_plus_1; ++i) props[static_cast<std::size_t>(i)] = i + 1;
+    const auto rr = sim::runTask(
+        cfg, [](Env& e, Value v) { return core::upsilonSetAgreement(e, v); },
+        props);
+    benchmark::DoNotOptimize(rr.decisions.size());
+  }
+}
+BENCHMARK(BM_Fig1EndToEnd)->Arg(3)->Arg(5)->Arg(8);
+
+}  // namespace
+}  // namespace wfd
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// Experiment E4 (paper Theorem 1): Upsilon is strictly weaker than
+// Omega_n for n >= 2.
+//
+//   Easy direction — Omega_n -> Upsilon by complementation: the emulated
+//   output stabilizes shortly after the source does (table 1).
+//   Hard direction — no algorithm extracts Omega_n from Upsilon: the
+//   proof's adversary forces every candidate either to switch its output
+//   forever (switch count grows linearly in the horizon, table 2) or to
+//   freeze on a value that a legal crash pattern renders illegal
+//   (table 3).
+#include "bench_util.h"
+
+namespace wfd {
+namespace {
+
+using bench::Table;
+using sim::Env;
+using sim::FailurePattern;
+
+void easyDirection() {
+  bench::banner("E4a — easy direction: Omega_n -> Upsilon (complementation)");
+  Table t({"n+1", "stab(Omega_n)", "emulation last change", "axioms"});
+  for (int n_plus_1 : {3, 4, 5, 6}) {
+    for (const Time stab : {100L, 1000L}) {
+      bool ok = true;
+      std::vector<Time> last;
+      for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        const auto fp =
+            FailurePattern::random(n_plus_1, n_plus_1 - 1, 60, seed * 3);
+        sim::RunConfig cfg;
+        cfg.n_plus_1 = n_plus_1;
+        cfg.fp = fp;
+        cfg.fd = fd::makeOmegaK(fp, n_plus_1 - 1, stab, seed);
+        cfg.seed = seed;
+        cfg.max_steps = stab * 3 + 30'000;
+        const auto rr = sim::runTask(
+            cfg, [](Env& e, Value) { return core::omegaKToUpsilonF(e); },
+            std::vector<Value>(static_cast<std::size_t>(n_plus_1), 0));
+        const auto rep = core::checkEmulatedUpsilonF(rr, n_plus_1 - 1);
+        ok = ok && rep.ok();
+        last.push_back(rep.last_change);
+      }
+      t.addRow({bench::fmt(n_plus_1), bench::fmt(stab),
+                bench::fmt(bench::median(std::move(last))),
+                bench::passFail(ok)});
+    }
+  }
+  t.print();
+}
+
+void hardDirectionChase() {
+  bench::banner(
+      "E4b — hard direction: the Theorem 1 adversary vs an adaptive "
+      "candidate (lowest-heartbeat)");
+  Table t({"n+1", "horizon", "forced switches", "last switch", "switches/10k",
+           "verdict"});
+  const auto cand = [](Env& e, Value) {
+    return core::candidateLowestHeartbeat(e);
+  };
+  for (int n_plus_1 : {3, 4, 6}) {
+    int prev_switches = 0;
+    for (const Time horizon : {25'000L, 50'000L, 100'000L, 200'000L}) {
+      const auto s = core::soloChase(cand, n_plus_1, horizon);
+      const bool growing = s.switches > prev_switches;
+      prev_switches = s.switches;
+      t.addRow({bench::fmt(n_plus_1), bench::fmt(horizon),
+                bench::fmt(s.switches), bench::fmt(s.last_switch_time),
+                bench::fmt(10'000.0 * s.switches /
+                           static_cast<double>(s.steps)),
+                growing ? "never stabilizes" : "STABILIZED?"});
+    }
+  }
+  t.print();
+}
+
+void hardDirectionExposure() {
+  bench::banner(
+      "E4c — hard direction: crash exposure vs a static candidate "
+      "(complement-of-Upsilon)");
+  Table t({"n+1", "candidate output", "claimed Omega_n set", "contains correct",
+           "verdict"});
+  const auto cand = [](Env& e, Value) {
+    return core::candidateComplementOrStatic(e);
+  };
+  for (int n_plus_1 : {3, 4, 5}) {
+    const auto s = core::crashExposure(cand, n_plus_1, 40'000);
+    const ProcSet claimed = s.stable_pc.complement(n_plus_1);
+    t.addRow({bench::fmt(n_plus_1),
+              s.stable ? s.stable_pc.toString() : "(unstable)",
+              claimed.toString(), s.legal ? "yes" : "NO",
+              (s.stable && !s.legal) ? "illegal -> defeated" : "?"});
+  }
+  t.print();
+}
+
+}  // namespace
+}  // namespace wfd
+
+int main() {
+  using namespace wfd;
+  easyDirection();
+  hardDirectionChase();
+  hardDirectionExposure();
+  std::puts("");
+  std::puts("Theorem 1 reproduced: the easy direction stabilizes (PASS rows),");
+  std::puts("while each candidate extraction of Omega_n from Upsilon is");
+  std::puts("defeated — by unbounded forced switching or by an exposing");
+  std::puts("crash pattern. (The theorem itself quantifies over all");
+  std::puts("algorithms; the adversary here is the proof's construction.)");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Shared helpers for the experiment harnesses: aligned table output and
+// small statistics. Each bench binary prints the rows recorded in
+// EXPERIMENTS.md; where wall-clock timing is the point (substrate costs)
+// google-benchmark is used instead.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "wfd.h"
+
+namespace wfd::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void addRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print() const {
+    std::vector<std::size_t> w(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) w[c] = headers_[c].size();
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < w.size(); ++c) {
+        w[c] = std::max(w[c], r[c].size());
+      }
+    }
+    auto line = [&] {
+      std::string s = "+";
+      for (std::size_t c = 0; c < w.size(); ++c) {
+        s += std::string(w[c] + 2, '-') + "+";
+      }
+      std::puts(s.c_str());
+    };
+    auto row = [&](const std::vector<std::string>& r) {
+      std::string s = "|";
+      for (std::size_t c = 0; c < w.size(); ++c) {
+        const std::string& cell = c < r.size() ? r[c] : "";
+        s += " " + cell + std::string(w[c] - cell.size(), ' ') + " |";
+      }
+      std::puts(s.c_str());
+    };
+    line();
+    row(headers_);
+    line();
+    for (const auto& r : rows_) row(r);
+    line();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline Time median(std::vector<Time> xs) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  return xs[xs.size() / 2];
+}
+
+inline std::string fmt(Time t) { return std::to_string(t); }
+inline std::string fmt(int v) { return std::to_string(v); }
+inline std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", v);
+  return buf;
+}
+inline std::string passFail(bool ok) { return ok ? "PASS" : "FAIL"; }
+
+inline void banner(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+}  // namespace wfd::bench

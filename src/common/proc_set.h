@@ -1,0 +1,97 @@
+// ProcSet: a value-semantic set of process identifiers.
+//
+// Failure detector ranges in this library are (encodings of) process sets:
+// Upsilon outputs a non-empty set, Omega a singleton, Omega^k a k-sized
+// set. A flat 64-bit mask keeps sets trivially copyable and hashable,
+// which the simulator relies on for register values and trace records.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace wfd {
+
+class ProcSet {
+ public:
+  constexpr ProcSet() = default;
+  ProcSet(std::initializer_list<Pid> pids) {
+    for (Pid p : pids) insert(p);
+  }
+
+  // The full set {p_0, ..., p_{n_plus_1 - 1}} (the paper's Pi).
+  static ProcSet full(int n_plus_1) {
+    assert(n_plus_1 >= 0 && n_plus_1 <= kMaxProcs);
+    ProcSet s;
+    s.bits_ = (n_plus_1 == kMaxProcs) ? ~std::uint64_t{0}
+                                      : ((std::uint64_t{1} << n_plus_1) - 1);
+    return s;
+  }
+
+  static ProcSet singleton(Pid p) {
+    ProcSet s;
+    s.insert(p);
+    return s;
+  }
+
+  static ProcSet fromBits(std::uint64_t bits) {
+    ProcSet s;
+    s.bits_ = bits;
+    return s;
+  }
+
+  void insert(Pid p) {
+    assert(p >= 0 && p < kMaxProcs);
+    bits_ |= std::uint64_t{1} << p;
+  }
+  void erase(Pid p) {
+    assert(p >= 0 && p < kMaxProcs);
+    bits_ &= ~(std::uint64_t{1} << p);
+  }
+  [[nodiscard]] bool contains(Pid p) const {
+    return p >= 0 && p < kMaxProcs && ((bits_ >> p) & 1) != 0;
+  }
+
+  [[nodiscard]] int size() const { return __builtin_popcountll(bits_); }
+  [[nodiscard]] bool empty() const { return bits_ == 0; }
+  [[nodiscard]] std::uint64_t bits() const { return bits_; }
+
+  // Set algebra. complement() needs the universe size since the mask alone
+  // does not know n+1.
+  [[nodiscard]] ProcSet complement(int n_plus_1) const {
+    return fromBits(full(n_plus_1).bits_ & ~bits_);
+  }
+  [[nodiscard]] ProcSet unionWith(const ProcSet& o) const {
+    return fromBits(bits_ | o.bits_);
+  }
+  [[nodiscard]] ProcSet intersect(const ProcSet& o) const {
+    return fromBits(bits_ & o.bits_);
+  }
+  [[nodiscard]] ProcSet minus(const ProcSet& o) const {
+    return fromBits(bits_ & ~o.bits_);
+  }
+  [[nodiscard]] bool subsetOf(const ProcSet& o) const {
+    return (bits_ & ~o.bits_) == 0;
+  }
+
+  // Smallest pid in the set; -1 when empty.
+  [[nodiscard]] Pid min() const {
+    return empty() ? -1 : __builtin_ctzll(bits_);
+  }
+
+  [[nodiscard]] std::vector<Pid> members() const;
+
+  // Renders as the paper's notation, e.g. "{p1,p3}".
+  [[nodiscard]] std::string toString() const;
+
+  friend bool operator==(const ProcSet&, const ProcSet&) = default;
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace wfd

@@ -1,0 +1,57 @@
+#include "common/reg_val.h"
+
+#include <cassert>
+
+namespace wfd {
+
+std::int64_t RegVal::asInt() const {
+  assert(isInt() && "RegVal: expected int");
+  return std::get<std::int64_t>(v_);
+}
+
+bool RegVal::asBool() const {
+  assert(isBool() && "RegVal: expected bool");
+  return std::get<bool>(v_);
+}
+
+const ProcSet& RegVal::asSet() const {
+  assert(isSet() && "RegVal: expected ProcSet");
+  return std::get<ProcSet>(v_);
+}
+
+const std::vector<RegVal>& RegVal::asTuple() const {
+  assert(isTuple() && "RegVal: expected tuple");
+  return *std::get<RegTuple>(v_);
+}
+
+bool operator==(const RegVal& a, const RegVal& b) {
+  if (a.v_.index() != b.v_.index()) return false;
+  if (a.isBottom()) return true;
+  if (a.isInt()) return a.asInt() == b.asInt();
+  if (a.isBool()) return a.asBool() == b.asBool();
+  if (a.isSet()) return a.asSet() == b.asSet();
+  const auto& ta = a.asTuple();
+  const auto& tb = b.asTuple();
+  if (ta.size() != tb.size()) return false;
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    if (ta[i] != tb[i]) return false;
+  }
+  return true;
+}
+
+std::string RegVal::toString() const {
+  if (isBottom()) return "⊥";
+  if (isInt()) return std::to_string(asInt());
+  if (isBool()) return asBool() ? "true" : "false";
+  if (isSet()) return asSet().toString();
+  std::string s = "(";
+  const auto& t = asTuple();
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += t[i].toString();
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace wfd

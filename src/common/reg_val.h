@@ -1,0 +1,74 @@
+// RegVal: the universal value type held by simulated shared registers.
+//
+// The algorithms in the paper store heterogeneous data in shared memory:
+// plain proposal values (Fig. 1 line 11), booleans (Stable[r]), process
+// sets (failure detector outputs relayed through memory, Fig. 3's R[i]),
+// and small tuples (the k-converge helper entries, Afek-snapshot cells).
+// RegVal is a closed, value-semantic sum over exactly those shapes; tuples
+// are immutable boxed vectors so that nesting (e.g. a snapshot embedded in
+// an Afek cell) stays cheap to copy and safe to share.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/proc_set.h"
+#include "common/types.h"
+
+namespace wfd {
+
+class RegVal;
+
+// Immutable tuple payload. shared_ptr keeps copies O(1); contents are
+// never mutated after construction, so sharing is safe.
+using RegTuple = std::shared_ptr<const std::vector<RegVal>>;
+
+class RegVal {
+ public:
+  // Bottom (the paper's ⊥): the initial content of every register.
+  RegVal() = default;
+  RegVal(std::int64_t v) : v_(v) {}                    // NOLINT(google-explicit-constructor)
+  RegVal(bool b) : v_(b) {}                            // NOLINT(google-explicit-constructor)
+  RegVal(const ProcSet& s) : v_(s) {}                  // NOLINT(google-explicit-constructor)
+  static RegVal tuple(std::vector<RegVal> elems) {
+    RegVal r;
+    r.v_ = std::make_shared<const std::vector<RegVal>>(std::move(elems));
+    return r;
+  }
+
+  [[nodiscard]] bool isBottom() const {
+    return std::holds_alternative<std::monostate>(v_);
+  }
+  [[nodiscard]] bool isInt() const {
+    return std::holds_alternative<std::int64_t>(v_);
+  }
+  [[nodiscard]] bool isBool() const { return std::holds_alternative<bool>(v_); }
+  [[nodiscard]] bool isSet() const {
+    return std::holds_alternative<ProcSet>(v_);
+  }
+  [[nodiscard]] bool isTuple() const {
+    return std::holds_alternative<RegTuple>(v_);
+  }
+
+  // Checked accessors: calling the wrong one on a live simulation is a
+  // protocol bug, so they assert rather than return optionals.
+  [[nodiscard]] std::int64_t asInt() const;
+  [[nodiscard]] bool asBool() const;
+  [[nodiscard]] const ProcSet& asSet() const;
+  [[nodiscard]] const std::vector<RegVal>& asTuple() const;
+
+  [[nodiscard]] std::string toString() const;
+
+  // Deep structural equality (tuples compared element-wise).
+  friend bool operator==(const RegVal& a, const RegVal& b);
+
+ private:
+  std::variant<std::monostate, std::int64_t, bool, ProcSet, RegTuple> v_;
+};
+
+inline bool operator!=(const RegVal& a, const RegVal& b) { return !(a == b); }
+
+}  // namespace wfd

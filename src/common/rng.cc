@@ -1,0 +1,72 @@
+#include "common/rng.h"
+
+#include <cassert>
+
+namespace wfd {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // Seed the full state from splitmix64 per the xoshiro authors' advice.
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+  std::uint64_t r = next();
+  while (r >= limit) r = next();
+  return r % bound;
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<std::int64_t>(
+                  below(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+bool Rng::chance(double p) {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53 < p;
+}
+
+std::uint64_t hashedUniform(std::uint64_t seed, std::uint64_t a,
+                            std::uint64_t b, std::uint64_t bound) {
+  assert(bound > 0);
+  std::uint64_t x = seed ^ (a * 0x9E3779B97F4A7C15ULL) ^
+                    (b * 0xC2B2AE3D27D4EB4FULL);
+  const std::uint64_t h = splitmix64(x);
+  // 64-bit multiply-shift range reduction (Lemire); bias is negligible for
+  // the small bounds used here.
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(h) * bound) >> 64);
+}
+
+}  // namespace wfd

@@ -1,0 +1,38 @@
+// Deterministic pseudo-randomness for the simulator.
+//
+// Every run is a pure function of its seed: the scheduler draws from a
+// stateful xoshiro256++ stream, while failure detector histories use the
+// *stateless* hashedUniform so that H(p,t) is a well-defined function of
+// (seed, p, t) no matter how often or in what order processes query it --
+// exactly the paper's notion of a failure detector history.
+#pragma once
+
+#include <cstdint>
+
+namespace wfd {
+
+// xoshiro256++ (Blackman & Vigna). Small, fast, and good enough for
+// schedule sampling; we do not need cryptographic strength.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next();
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  bool chance(double p);  // true with probability p
+
+ private:
+  std::uint64_t s_[4];
+};
+
+// SplitMix64-based stateless hash; uniform over [0, bound).
+std::uint64_t hashedUniform(std::uint64_t seed, std::uint64_t a,
+                            std::uint64_t b, std::uint64_t bound);
+
+}  // namespace wfd

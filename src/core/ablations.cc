@@ -1,0 +1,50 @@
+#include "core/ablations.h"
+
+#include "core/upsilon_set_agreement.h"
+#include "fd/scripted.h"
+#include "memory/snapshot.h"
+
+namespace wfd::core {
+
+fd::FdPtr axiom2ViolatingDetector(const sim::FailurePattern& fp) {
+  const ProcSet correct = fp.correct();
+  return fd::makeScripted("U=correct(F)",
+                          [correct](Pid, Time) { return correct; }, 0);
+}
+
+fd::FdPtr axiom1ViolatingDetector() {
+  return fd::makeScripted(
+      "flapping",
+      [](Pid, Time t) {
+        return (t % 2 == 0) ? ProcSet{0} : ProcSet{1};
+      },
+      // Never stabilizes; advertise "infinity" so no test waits on it.
+      sim::kNeverCrashes);
+}
+
+int fig1DecidersUnder(fd::FdPtr fd, int n_plus_1, Time budget) {
+  sim::RunConfig cfg;
+  cfg.n_plus_1 = n_plus_1;
+  cfg.fd = std::move(fd);
+  cfg.policy = sim::PolicyKind::kRoundRobin;  // lockstep: no lucky commits
+  cfg.max_steps = budget;
+  std::vector<Value> props(static_cast<std::size_t>(n_plus_1));
+  for (int i = 0; i < n_plus_1; ++i) props[static_cast<std::size_t>(i)] = 100 + i;
+  const auto rr = sim::runTask(
+      cfg, [](Env& e, Value v) { return upsilonSetAgreement(e, v); }, props);
+  return static_cast<int>(rr.decisions.size());
+}
+
+Coro<Pick> kConvergeNaive(Env& env, sim::ObjKey key, int k, Value v) {
+  if (k == 0) co_return Pick{v, false};
+  key.append(".naive");
+  const auto a = mem::makeSnapshot(env, key, env.nProcs());
+  co_await mem::snapshotUpdate(env, a, env.me(), RegVal(v));
+  const auto sa = co_await mem::snapshotScan(env, a);
+  // One phase only: no tag exchange, no adoption from committed sets —
+  // exactly the shortcut the real construction's phase 2 exists to fix.
+  const bool commit = static_cast<int>(mem::distinctValues(sa).size()) <= k;
+  co_return Pick{v, commit};
+}
+
+}  // namespace wfd::core

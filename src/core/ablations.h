@@ -1,0 +1,46 @@
+// Ablations: deliberately broken variants that demonstrate *why* each
+// ingredient of the paper's definitions and constructions is load-bearing.
+//
+//   * Upsilon axiom (2) (U != correct(F)): feed Fig. 1 a "detector" that
+//     stabilizes on exactly the correct set — the gladiator mechanism
+//     livelocks (no faulty gladiator ever frees the converge, no correct
+//     citizen exists to write D[r]).
+//   * Upsilon axiom (1) (eventual stability): a forever-flapping history
+//     makes every round abort through Stable[r]; under a lockstep
+//     schedule no value is ever eliminated.
+//   * k-converge's second phase: a naive "commit iff my first snapshot
+//     has <= k values" routine violates C-Agreement on concrete
+//     schedules (found exhaustively in the tests).
+//
+// The broken detectors are ordinary ScriptedFd histories — they are NOT
+// legal Upsilon histories, which is precisely the point.
+#pragma once
+
+#include "core/kconverge.h"
+#include "fd/failure_detector.h"
+#include "sim/runner.h"
+
+namespace wfd::core {
+
+using sim::Coro;
+using sim::Env;
+
+// A "detector" pinned to the correct set of fp — violates axiom (2).
+fd::FdPtr axiom2ViolatingDetector(const sim::FailurePattern& fp);
+
+// A "detector" that alternates between {p1} and {p2} forever — violates
+// axiom (1). Never equal on two consecutive time units.
+fd::FdPtr axiom1ViolatingDetector();
+
+// Runs Fig. 1 under a lockstep schedule with the given (possibly broken)
+// detector; returns the number of processes that decided within budget.
+// With a legal Upsilon history this is n+1; with either violating
+// detector above it is 0.
+int fig1DecidersUnder(fd::FdPtr fd, int n_plus_1, Time budget);
+
+// The naive one-phase converge: commit iff the first snapshot already
+// shows <= k distinct values, otherwise keep the input. Satisfies
+// C-Termination/C-Validity/Convergence but NOT C-Agreement.
+Coro<Pick> kConvergeNaive(Env& env, sim::ObjKey key, int k, Value v);
+
+}  // namespace wfd::core

@@ -1,0 +1,179 @@
+#include "core/adversary.h"
+
+#include <memory>
+
+#include "fd/scripted.h"
+
+namespace wfd::core {
+
+namespace {
+
+using sim::FailurePattern;
+using sim::FnPolicy;
+using sim::Run;
+using sim::RunConfig;
+using sim::World;
+
+// Upsilon pinned to {p1,...,pn}: legitimate whenever p_{n+1} is correct or
+// some p_i (i <= n) is faulty — which covers every run the adversary
+// builds (Theorem 1 proof, first paragraph).
+fd::FdPtr pinnedUpsilon(int n_plus_1) {
+  ProcSet u = ProcSet::full(n_plus_1);
+  u.erase(n_plus_1 - 1);
+  return fd::makeScripted("Upsilon=const" + u.toString(),
+                          [u](Pid, Time) { return u; }, 0);
+}
+
+// Extract the pid a candidate's published singleton designates; -1 if the
+// value is not a singleton set yet.
+Pid publishedPc(const RegVal& v) {
+  if (!v.isSet() || v.asSet().size() != 1) return -1;
+  return v.asSet().min();
+}
+
+struct ChaseState {
+  enum class Mode { kBatch, kSolo };
+  Mode mode = Mode::kBatch;
+  Pid batch_next = 0;
+  Pid target;
+  Time solo_steps = 0;
+  Time min_confirm;  // solo steps before the target's output counts as
+                     // "produced in this phase" (>= one candidate loop)
+  Time phase_cap;
+  int switches = 0;
+  Time last_switch_time = 0;
+  int stall_retargets = 0;
+};
+
+}  // namespace
+
+ChaseStats soloChase(const AlgoFn& candidate, int n_plus_1, Time total_steps,
+                     Time phase_cap, std::uint64_t seed) {
+  RunConfig cfg;
+  cfg.n_plus_1 = n_plus_1;
+  cfg.fp = FailurePattern::failureFree(n_plus_1);
+  cfg.fd = pinnedUpsilon(n_plus_1);
+  cfg.seed = seed;
+
+  Run run(cfg, candidate, std::vector<Value>(static_cast<std::size_t>(n_plus_1), 0));
+
+  auto st = std::make_shared<ChaseState>();
+  st->target = n_plus_1 - 1;  // proof starts by running p_{n+1} solo
+  st->phase_cap = phase_cap;
+  // One candidate loop iteration costs at most ~n+2 operations for the
+  // shipped candidates; two full iterations guarantee a fresh output.
+  st->min_confirm = 2 * (n_plus_1 + 2);
+
+  FnPolicy policy([st, n_plus_1](const ProcSet& runnable, const World& world,
+                                 Rng&) -> Pid {
+    // Failure-free run of forever-looping candidates: everyone runnable.
+    (void)runnable;
+    if (st->mode == ChaseState::Mode::kBatch) {
+      // "Every process takes exactly one step" between solo phases.
+      const Pid p = st->batch_next++;
+      if (st->batch_next >= n_plus_1) {
+        st->mode = ChaseState::Mode::kSolo;
+        st->batch_next = 0;
+        st->solo_steps = 0;
+      }
+      return p;
+    }
+    // Solo phase: run the target until it has confirmed (by completing
+    // full candidate-loop iterations within this phase) an output {pc}
+    // with pc != target — the proof's condition: in a run where the
+    // target looks like the only correct process, the candidate must
+    // exclude someone else. Then re-target pc.
+    if (st->solo_steps >= st->min_confirm) {
+      const Pid pc = publishedPc(world.published(st->target));
+      if (pc >= 0 && pc != st->target) {
+        ++st->switches;
+        st->last_switch_time = world.now();
+        st->target = pc;
+        st->mode = ChaseState::Mode::kBatch;
+        return st->batch_next++;
+      }
+    }
+    if (++st->solo_steps > st->phase_cap) {
+      // Stall: the candidate is frozen on {target} (or silent). If every
+      // process currently agrees on some {q}, q != target, the
+      // indistinguishability argument says q's solo run must eventually
+      // move q's own output — chase q. Otherwise the candidate is
+      // already defeated by persistent disagreement; keep soloing until
+      // the horizon.
+      st->solo_steps = 0;
+      Pid agreed = publishedPc(world.published(0));
+      for (Pid p = 1; p < n_plus_1 && agreed >= 0; ++p) {
+        if (publishedPc(world.published(p)) != agreed) agreed = -1;
+      }
+      if (agreed >= 0 && agreed != st->target) {
+        ++st->stall_retargets;
+        st->target = agreed;
+        st->mode = ChaseState::Mode::kBatch;
+        return st->batch_next++;
+      }
+    }
+    return st->target;
+  });
+
+  const Time taken = run.scheduler().run(policy, total_steps);
+
+  ChaseStats stats;
+  stats.steps = taken;
+  stats.switches = st->switches;
+  stats.last_switch_time = st->last_switch_time;
+  stats.run = run.finish(taken);
+
+  const auto pubs = stats.run.trace().ofKind(sim::EventKind::kPublish);
+  for (const auto& e : pubs) stats.last_instability = e.time;
+  // Final agreement among all (correct = all) processes?
+  stats.final_agreement = true;
+  const auto finals =
+      stats.run.trace().publishedAt(stats.run.world->now(), n_plus_1);
+  for (int p = 1; p < n_plus_1; ++p) {
+    if (finals[static_cast<std::size_t>(p)] != finals[0]) {
+      stats.final_agreement = false;
+    }
+  }
+  return stats;
+}
+
+ExposureStats crashExposure(const AlgoFn& candidate, int n_plus_1,
+                            Time total_steps, std::uint64_t seed) {
+  // Crash p1..pn at mid-run; p_{n+1} alone is correct. Upsilon may keep
+  // outputting {p1..pn}: it is not the correct set {p_{n+1}}.
+  std::vector<std::pair<Pid, Time>> crashes;
+  for (Pid p = 0; p < n_plus_1 - 1; ++p) {
+    crashes.emplace_back(p, total_steps / 2 + p);
+  }
+  RunConfig cfg;
+  cfg.n_plus_1 = n_plus_1;
+  cfg.fp = FailurePattern::withCrashes(n_plus_1, crashes);
+  cfg.fd = pinnedUpsilon(n_plus_1);
+  cfg.seed = seed;
+  cfg.max_steps = total_steps;
+
+  RunResult rr = sim::runTask(
+      cfg, candidate, std::vector<Value>(static_cast<std::size_t>(n_plus_1), 0));
+
+  ExposureStats stats;
+  const ProcSet correct = rr.world->pattern().correct();
+  const auto finals = rr.trace().publishedAt(rr.world->now(), n_plus_1);
+  // Stability among correct processes: same non-⊥ singleton everywhere.
+  const Pid w = correct.min();
+  const RegVal& fv = finals[static_cast<std::size_t>(w)];
+  stats.stable = publishedPc(fv) >= 0;
+  for (Pid p : correct.members()) {
+    if (finals[static_cast<std::size_t>(p)] != fv) stats.stable = false;
+  }
+  if (stats.stable) {
+    const Pid pc = publishedPc(fv);
+    stats.stable_pc = ProcSet::singleton(pc);
+    // Legal Omega_n output iff Pi - {pc} contains a correct process.
+    stats.legal =
+        !ProcSet::singleton(pc).complement(n_plus_1).intersect(correct).empty();
+  }
+  stats.run = std::move(rr);
+  return stats;
+}
+
+}  // namespace wfd::core

@@ -1,0 +1,65 @@
+// The Theorem 1 / Theorem 5 proof adversaries, made executable.
+//
+// Theorem 1's construction: fix Upsilon's history to output {p1,...,pn}
+// forever (legitimate in every failure-free run). Run p_{n+1} solo until
+// the candidate outputs some pc1 (indistinguishable, for p_{n+1}, from a
+// run where everyone else crashed, so a correct candidate must produce an
+// output). Let every process take exactly one step, then run pc1 solo
+// until it outputs pc2 != pc1 (indistinguishable from pc1 being the only
+// correct process, where the candidate must exclude someone other than
+// pc1). Iterate: the extracted output never stabilizes.
+//
+// soloChase() drives exactly this schedule against a candidate reduction
+// and counts the forced output switches; defeat shows up as a switch
+// count that grows without bound in the run length (equivalently, a
+// last-instability time that tracks the horizon). For candidates that go
+// quiescent instead of switching, the chase detects the stall and either
+// re-targets the agreed-upon output (per the indistinguishability
+// argument) or reports persistent disagreement — and crashExposure()
+// covers static candidates by realizing a failure pattern that makes
+// their frozen output illegal.
+//
+// Theorem 5 generalizes the construction to Upsilon^f vs Omega^f; the
+// same chase applies with the candidate publishing f-sets (we reuse the
+// singleton convention with f = n).
+#pragma once
+
+#include "sim/runner.h"
+
+namespace wfd::core {
+
+using sim::AlgoFn;
+using sim::RunResult;
+using sim::Time;
+
+struct ChaseStats {
+  int switches = 0;           // phases in which the chased target produced
+                              // (confirmed) an output different from itself
+  Time last_switch_time = 0;  // world time of the last forced switch
+  Time last_instability = 0;  // time of the last publish change anywhere
+  bool final_agreement = false;  // all processes agree at the horizon
+  Time steps = 0;
+  RunResult run;              // full run for further inspection
+};
+
+// Run the Theorem 1 adversary for `total_steps` steps of an (n+1)-process
+// failure-free run with Upsilon pinned to {p1..pn}. `phase_cap` bounds a
+// solo phase before the stall heuristic kicks in.
+ChaseStats soloChase(const AlgoFn& candidate, int n_plus_1, Time total_steps,
+                     Time phase_cap = 4096, std::uint64_t seed = 1);
+
+struct ExposureStats {
+  bool stable = false;      // the candidate's outputs stabilized & agree
+  ProcSet stable_pc;        // the agreed pc (if stable)
+  bool legal = false;       // Pi - {pc} contains a correct process
+  RunResult run;
+};
+
+// The static-candidate counterexample: crash all of {p1..pn} mid-run
+// (Upsilon outputting {p1..pn} stays legitimate); a candidate frozen on
+// pc = p_{n+1} then claims Pi - {p_{n+1}} = the all-faulty set contains a
+// correct process — illegal.
+ExposureStats crashExposure(const AlgoFn& candidate, int n_plus_1,
+                            Time total_steps, std::uint64_t seed = 1);
+
+}  // namespace wfd::core

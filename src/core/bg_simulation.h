@@ -1,0 +1,94 @@
+// BG simulation (Borowsky–Gafni [2]) — the machinery behind the paper's
+// f-resilient impossibility results.
+//
+// f+1 simulators, of which up to f may crash, jointly execute an
+// m-process program written in the snapshot model (rounds of "update my
+// cell, scan everyone"). The simulators only need to agree on the
+// nondeterministic inputs of the simulated run — the scan views — and do
+// so through one safe-agreement instance per (simulated process, round).
+// A simulator crash can block at most one instance (one simulated
+// process) at a time, so at least m - f simulated processes keep making
+// progress: an f-resilient execution of the m-process program emerges
+// from a wait-free execution of the simulators. This is exactly the
+// reduction [2] uses to lift the wait-free set-agreement impossibility
+// to the f-resilient case (paper Sect. 5.3), and it grounds the "BG
+// simulation" citations behind Theorems 5/6.
+//
+// Shared representation:
+//   * a grid snapshot object with (#simulators x m) slots; slot (i, j)
+//     holds simulator i's copy of simulated process j's latest update as
+//     a tuple (round, value) — single-writer per slot;
+//   * SA[j][r]: safe agreement on j's round-r scan view. Every simulator
+//     proposes the view it assembles from a real grid scan (per
+//     simulated process: the highest-round value across columns).
+//     Real grid scans are containment-ordered, so the agreed views form
+//     a legal snapshot-model execution.
+//
+// Simulated programs are deterministic snapshot-model automata:
+// update_r+1 / decision = F(agreed views so far). Determinism is what
+// lets every simulator reconstruct the identical simulated run.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "sim/env.h"
+
+namespace wfd::core {
+
+using sim::Coro;
+using sim::Env;
+using sim::Unit;
+
+// One simulated process's transition function. Round r: the process
+// updates its cell with a value, then scans. `onScan` receives the
+// agreed round-r view (slot j = simulated p_j's latest update value, ⊥
+// if none) and returns either the next round's update value or a
+// decision.
+struct SnapshotProgram {
+  using Step = std::variant<RegVal /*next update*/, Value /*decision*/>;
+  // Round-1 update value for simulated process j with input `input`.
+  std::function<RegVal(int j, Value input)> first_update;
+  // Transition after the agreed round-r view. The agreed view always
+  // contains j's own round-r value: every simulator writes its column
+  // for (j, r) before scanning its candidate.
+  std::function<Step(int j, int r, Value input,
+                     const std::vector<RegVal>& view)>
+      on_scan;
+};
+
+struct BgConfig {
+  int simulators = 2;      // f+1 (this process count runs the simulation)
+  int simulated = 3;       // m simulated snapshot-model processes
+  std::vector<Value> inputs;  // size m
+  Time max_iterations = 100'000;  // simulator main-loop bound
+};
+
+// The simulator automaton for process env.me() in [0, simulators).
+// Publishes nothing; records each simulated decision as a trace note
+// "bg.decide.<j>" with the decided value (once per j per simulator).
+// Returns when every simulated process has decided, or when the
+// iteration budget is exhausted (e.g. a crashed co-simulator blocks a
+// safe-agreement instance forever).
+Coro<Unit> bgSimulator(Env& env, const BgConfig& cfg,
+                       const SnapshotProgram& prog);
+
+// Demo program: round-1 update = own input; decide min of the first view
+// containing at least `quorum` values, else re-update. With quorum =
+// m - f this is live under f simulator crashes and decides at most
+// (numbers of distinct chain views) values.
+SnapshotProgram minOfQuorumProgram(int quorum);
+
+// Commit-adopt in the snapshot model, as a simulated program: round 1
+// announces the input; round 2 announces (input, saw-disagreement);
+// afterwards decide an encoded (value, committed) pair. Decoders below.
+// Simulated under BG it must satisfy the commit-adopt contract: if any
+// simulated process commits v, every simulated decision carries v.
+SnapshotProgram commitAdoptProgram();
+Value caEncode(Value v, bool committed);
+std::pair<Value, bool> caDecode(Value encoded);
+
+}  // namespace wfd::core

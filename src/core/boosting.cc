@@ -1,0 +1,68 @@
+#include "core/boosting.h"
+
+#include <cassert>
+
+#include "core/kconverge.h"
+
+namespace wfd::core {
+
+Coro<Unit> consensusBoosting(Env& env, Value v) {
+  env.propose(v);
+  const int n_plus_1 = env.nProcs();
+  const int n = n_plus_1 - 1;
+  assert(n_plus_1 <= 31 && "L's bitmask is packed into an ObjKey index");
+  const sim::ObjId d_reg = env.reg(sim::ObjKey{"boost.D"});
+
+  for (int r = 1;; ++r) {
+    // Commit-adopt (1-converge) carries all safety.
+    const Pick p = co_await kConverge(env, sim::ObjKey{"boost.ca", r}, 1, v);
+    v = p.value;
+    if (p.committed) {
+      co_await env.write(d_reg, RegVal(v));
+      env.decide(v);
+      co_return Unit{};
+    }
+    {
+      const RegVal d = (co_await env.read(d_reg)).scalar;
+      if (!d.isBottom()) {
+        env.decide(d.asInt());
+        co_return Unit{};
+      }
+    }
+
+    const ProcSet l = (co_await env.queryFd()).scalar.asSet();
+    assert(l.size() == n && "consensusBoosting requires an Omega_n history");
+    const sim::ObjId ann_reg = env.reg(sim::ObjKey{"boost.Ann", r});
+
+    if (l.contains(env.me())) {
+      // Group consensus among L's n members: the object is keyed by
+      // (round, L), so at most the n processes of L ever propose to it —
+      // the port limit the boosting question is about.
+      const sim::ObjId cons = env.cons(
+          sim::ObjKey{"boost.cons", r, static_cast<int>(l.bits())}, n);
+      const RegVal w = (co_await env.consPropose(cons, RegVal(v))).scalar;
+      v = w.asInt();
+      co_await env.write(ann_reg, w);
+    } else {
+      // Excluded process: adopt L's announced winner. Re-check the
+      // detector (pre-stabilization L may be junk) and D (a decision
+      // releases everyone) while waiting.
+      for (;;) {
+        const RegVal a = (co_await env.read(ann_reg)).scalar;
+        if (!a.isBottom()) {
+          v = a.asInt();
+          break;
+        }
+        const RegVal d = (co_await env.read(d_reg)).scalar;
+        if (!d.isBottom()) {
+          env.decide(d.asInt());
+          co_return Unit{};
+        }
+        const ProcSet l2 = (co_await env.queryFd()).scalar.asSet();
+        if (l2 != l) break;  // output not stable yet: next round
+      }
+    }
+  }
+}
+
+}  // namespace wfd::core

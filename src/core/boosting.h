@@ -1,0 +1,37 @@
+// Consensus boosting: n+1-process consensus from n-process consensus
+// objects, registers, and Omega_n (the context of Corollary 4).
+//
+// Guerraoui–Kouznetsov [13] proved Omega_n is the weakest failure
+// detector for this boosting problem, and Yang–Neiger–Gafni [21] gave
+// Omega_n-based algorithms; the paper's Corollary 4 contrasts it with
+// n-set-agreement-from-registers, which the strictly weaker Upsilon
+// already solves. This module supplies the boosting side:
+//
+//   round r:  (v, c) := commit-adopt[r](v); commit -> write D, decide.
+//             L := Omega_n output (an n-set; one process excluded).
+//             if me in L: w := Cons[r][L].propose(v)   (n ports: only
+//                         L's members touch this object);
+//                         Ann[r] := w; v := w.
+//             else:       wait for Ann[r] (re-checking Omega_n and D);
+//                         adopt it.
+//
+// Once Omega_n stabilizes on L containing a correct process, every
+// correct process enters some round r with the n-process consensus
+// winner w as its value, and commit-adopt[r+1] commits. Safety rests on
+// commit-adopt alone, so pre-stabilization nonsense is harmless.
+#pragma once
+
+#include "sim/env.h"
+
+namespace wfd::core {
+
+using sim::Coro;
+using sim::Env;
+using sim::Unit;
+
+// The process automaton. Requires an Omega_n (= Omega^{n}) detector with
+// k = n = env.nProcs() - 1 installed. Uses n-ported consensus base
+// objects; the object table asserts the port discipline.
+Coro<Unit> consensusBoosting(Env& env, Value v);
+
+}  // namespace wfd::core

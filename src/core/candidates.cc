@@ -1,0 +1,39 @@
+#include "core/candidates.h"
+
+#include <vector>
+
+namespace wfd::core {
+
+Coro<Unit> candidateLowestHeartbeat(Env& env) {
+  const int n_plus_1 = env.nProcs();
+  const sim::ObjId own_hb = env.reg(sim::ObjKey{"cand.hb", env.me()});
+  std::int64_t ts = 0;
+  for (;;) {
+    ++ts;
+    co_await env.write(own_hb, RegVal(ts));
+    std::int64_t best_ts = INT64_MAX;
+    Pid best = 0;
+    for (Pid q = 0; q < n_plus_1; ++q) {
+      const RegVal h =
+          (co_await env.read(env.reg(sim::ObjKey{"cand.hb", q}))).scalar;
+      const std::int64_t hq = h.isBottom() ? 0 : h.asInt();
+      if (hq < best_ts) {
+        best_ts = hq;
+        best = q;
+      }
+    }
+    env.publishIfChanged(RegVal(ProcSet::singleton(best)));
+  }
+}
+
+Coro<Unit> candidateComplementOrStatic(Env& env) {
+  const int n_plus_1 = env.nProcs();
+  for (;;) {
+    const ProcSet u = (co_await env.queryFd()).scalar.asSet();
+    const ProcSet comp = u.complement(n_plus_1);
+    const Pid pc = comp.empty() ? 0 : comp.min();
+    env.publishIfChanged(RegVal(ProcSet::singleton(pc)));
+  }
+}
+
+}  // namespace wfd::core

@@ -1,0 +1,37 @@
+// Candidate Upsilon -> Omega_n extraction algorithms, built to be defeated.
+//
+// Theorem 1 states no algorithm can extract Omega_n from Upsilon (n >= 2).
+// An impossibility cannot be executed, but its *proof adversary* can: for
+// any given candidate, the adversary of Theorem 1 constructs a run where
+// the candidate's output never legally stabilizes. We ship the natural
+// candidates a practitioner would try; core/adversary.h runs the proof's
+// construction against them and measures the failure.
+//
+// Convention: a candidate publishes a singleton {pc} meaning "my Omega_n
+// output is Pi - {pc}" — i.e. it claims pc is not the only correct
+// process. (Extracting Omega_n is equivalent to eventually agreeing on
+// such a pc; see the Theorem 1 proof.)
+#pragma once
+
+#include "sim/env.h"
+
+namespace wfd::core {
+
+using sim::Coro;
+using sim::Env;
+using sim::Unit;
+
+// "The stalest process is surely not the only correct one": heartbeat,
+// then publish pc = argmin of observed timestamps (lowest id on ties).
+// Adaptive — reacts to scheduling — so the solo-chase adversary drives
+// its output around forever.
+Coro<Unit> candidateLowestHeartbeat(Env& env);
+
+// "Upsilon's complement knows": publish pc = min(Pi - U) when U is a
+// proper subset (correct for f = 1, per the §5.3 reduction), else a fixed
+// process. Static — the solo chase stalls on it — but the crash-exposure
+// run (all of Upsilon's stable set faulty) catches it outputting a pc
+// whose complement contains no correct process.
+Coro<Unit> candidateComplementOrStatic(Env& env);
+
+}  // namespace wfd::core

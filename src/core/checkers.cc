@@ -1,0 +1,116 @@
+#include "core/checkers.h"
+
+#include <map>
+#include <set>
+
+namespace wfd::core {
+
+namespace {
+
+// Shared stabilization harvest: final published value per correct
+// process, equality across them, and the last change time.
+EmulationReport harvestPublished(const RunResult& rr) {
+  EmulationReport rep;
+  const auto& fp = rr.world->pattern();
+  const ProcSet correct = fp.correct();
+  const int n_plus_1 = fp.nProcs();
+  const auto finals = rr.trace().publishedAt(rr.world->now(), n_plus_1);
+
+  const Pid w = correct.min();
+  const RegVal& fv = finals[static_cast<std::size_t>(w)];
+  rep.stabilized = !fv.isBottom();
+  for (Pid p : correct.members()) {
+    if (finals[static_cast<std::size_t>(p)] != fv) {
+      rep.stabilized = false;
+      rep.violation = "correct processes disagree: p" + std::to_string(p + 1) +
+                      " has " + finals[static_cast<std::size_t>(p)].toString() +
+                      ", p" + std::to_string(w + 1) + " has " + fv.toString();
+    }
+  }
+  for (const auto& e : rr.trace().ofKind(sim::EventKind::kPublish)) {
+    if (correct.contains(e.pid)) rep.last_change = e.time;
+  }
+  if (rep.stabilized && fv.isSet()) rep.stable_value = fv.asSet();
+  return rep;
+}
+
+}  // namespace
+
+AgreementReport checkKSetAgreement(const RunResult& rr, int k,
+                                   const std::vector<Value>& proposals) {
+  AgreementReport rep;
+  const auto& fp = rr.world->pattern();
+
+  // Termination: every correct process decided.
+  rep.termination = true;
+  for (Pid p : fp.correct().members()) {
+    if (!rr.decisions.contains(p)) {
+      rep.termination = false;
+      rep.violation = "correct p" + std::to_string(p + 1) + " never decided";
+    }
+  }
+
+  // Validity + decide-once from the raw decide events.
+  const std::set<Value> allowed(proposals.begin(), proposals.end());
+  rep.validity = true;
+  rep.decide_once = true;
+  std::map<Pid, int> decide_count;
+  for (const auto& e : rr.trace().ofKind(sim::EventKind::kDecide)) {
+    if (++decide_count[e.pid] > 1) {
+      rep.decide_once = false;
+      rep.violation = "p" + std::to_string(e.pid + 1) + " decided twice";
+    }
+    if (!allowed.contains(e.value.asInt())) {
+      rep.validity = false;
+      rep.violation = "decided value " + e.value.toString() + " not proposed";
+    }
+  }
+
+  rep.distinct = rr.distinctDecisions();
+  rep.agreement = rep.distinct <= k;
+  if (!rep.agreement) {
+    rep.violation = std::to_string(rep.distinct) + " distinct decisions > k=" +
+                    std::to_string(k);
+  }
+  return rep;
+}
+
+EmulationReport checkEmulatedUpsilonF(const RunResult& rr, int f) {
+  EmulationReport rep = harvestPublished(rr);
+  if (!rep.stabilized) return rep;
+  const auto& fp = rr.world->pattern();
+  const int n_plus_1 = fp.nProcs();
+  rep.legal = true;
+  if (rep.stable_value.empty()) {
+    rep.legal = false;
+    rep.violation = "emulated Upsilon output is empty";
+  } else if (rep.stable_value.size() < n_plus_1 - f) {
+    rep.legal = false;
+    rep.violation = "emulated Upsilon^f output " + rep.stable_value.toString() +
+                    " smaller than n+1-f";
+  } else if (rep.stable_value == fp.correct()) {
+    rep.legal = false;
+    rep.violation = "emulated output equals the correct set " +
+                    rep.stable_value.toString();
+  }
+  return rep;
+}
+
+EmulationReport checkEmulatedOmega(const RunResult& rr) {
+  EmulationReport rep = harvestPublished(rr);
+  if (!rep.stabilized) return rep;
+  const auto& fp = rr.world->pattern();
+  rep.legal = true;
+  if (rep.stable_value.size() != 1) {
+    rep.legal = false;
+    rep.violation = "emulated Omega output " + rep.stable_value.toString() +
+                    " is not a singleton";
+  } else if (fp.correct().intersect(rep.stable_value).empty()) {
+    rep.legal = false;
+    rep.violation = "emulated leader " + rep.stable_value.toString() +
+                    " is faulty";
+  }
+  return rep;
+}
+
+}  // namespace wfd::core

@@ -1,0 +1,50 @@
+#include "core/omega_impl.h"
+
+#include <vector>
+
+namespace wfd::core {
+
+Coro<Unit> omegaFromEventualSynchrony(Env& env) {
+  const int n_plus_1 = env.nProcs();
+  const sim::ObjId own_hb = env.reg(sim::ObjKey{"psync.hb", env.me()});
+
+  std::int64_t hb = 0;
+  std::vector<std::int64_t> last_seen(static_cast<std::size_t>(n_plus_1), -1);
+  std::vector<std::int64_t> missed(static_cast<std::size_t>(n_plus_1), 0);
+  std::vector<std::int64_t> timeout(static_cast<std::size_t>(n_plus_1), 4);
+  std::vector<bool> suspected(static_cast<std::size_t>(n_plus_1), false);
+
+  for (;;) {
+    ++hb;
+    co_await env.write(own_hb, RegVal(hb));
+
+    for (Pid j = 0; j < n_plus_1; ++j) {
+      if (j == env.me()) continue;
+      const auto ji = static_cast<std::size_t>(j);
+      const RegVal v =
+          (co_await env.read(env.reg(sim::ObjKey{"psync.hb", j}))).scalar;
+      const std::int64_t hj = v.isBottom() ? 0 : v.asInt();
+      if (hj != last_seen[ji]) {
+        last_seen[ji] = hj;
+        missed[ji] = 0;
+        if (suspected[ji]) {
+          // False suspicion: j is alive after all. Adapt so that, after
+          // GST, the timeout eventually exceeds j's true inter-heartbeat
+          // gap and never fires again.
+          suspected[ji] = false;
+          timeout[ji] *= 2;
+        }
+      } else if (++missed[ji] > timeout[ji]) {
+        suspected[ji] = true;
+      }
+    }
+
+    Pid leader = env.me();  // never suspect oneself
+    for (Pid j = 0; j < n_plus_1; ++j) {
+      if (j < leader && !suspected[static_cast<std::size_t>(j)]) leader = j;
+    }
+    env.publishIfChanged(RegVal(ProcSet::singleton(leader)));
+  }
+}
+
+}  // namespace wfd::core

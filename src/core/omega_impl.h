@@ -1,0 +1,37 @@
+// Implementing Omega from timing assumptions (extension).
+//
+// The paper's introduction motivates failure detectors as abstractions
+// of the partial synchrony found in real systems: "such timing
+// assumptions circumvent asynchronous impossibilities by providing
+// processes with information about failures, typically through time-out
+// (or heart-beat) mechanisms". This module makes that sentence
+// executable: a heartbeat/adaptive-timeout algorithm that implements
+// Omega in runs scheduled by sim::EventuallySynchronousPolicy — no
+// oracle involved. Composed with the paper's reductions (Omega -> Omega_n
+// -> Upsilon by complementation) it grounds the whole hierarchy in a
+// timing assumption:
+//
+//     eventual synchrony -> Omega -> Upsilon -> set agreement.
+//
+// Algorithm (classic): each process increments a heartbeat register
+// every iteration and monitors everyone else's, counting its own
+// iterations since register j last changed. Exceeding an (adaptive,
+// doubled-on-false-suspicion) timeout suspects j; the emulated leader is
+// the smallest unsuspected id. After GST every correct process completes
+// an iteration within a bounded window, so timeouts stop growing, false
+// suspicions cease, and everyone converges on the smallest correct id.
+#pragma once
+
+#include "sim/env.h"
+
+namespace wfd::core {
+
+using sim::Coro;
+using sim::Env;
+using sim::Unit;
+
+// Runs forever; publishes the elected leader as a singleton set. Needs no
+// failure detector installed — failure information comes from timing.
+Coro<Unit> omegaFromEventualSynchrony(Env& env);
+
+}  // namespace wfd::core

@@ -1,0 +1,75 @@
+#include "core/omega_k_set_agreement.h"
+
+#include <cassert>
+
+#include "core/kconverge.h"
+
+namespace wfd::core {
+
+Coro<Unit> omegaKSetAgreement(Env& env, int k, Value v) {
+  env.propose(v);
+  assert(k >= 1);
+  const sim::ObjId d_reg = env.reg(sim::ObjKey{"omk.D"});
+
+  for (int r = 1;; ++r) {
+    const Pick p = co_await kConverge(env, sim::ObjKey{"omk.conv", r}, k, v);
+    v = p.value;
+    if (p.committed) {
+      co_await env.write(d_reg, RegVal(v));
+      env.decide(v);
+      co_return Unit{};
+    }
+    {
+      const RegVal d = (co_await env.read(d_reg)).scalar;
+      if (!d.isBottom()) {
+        env.decide(d.asInt());
+        co_return Unit{};
+      }
+    }
+
+    // Leader phase for round r+1. Announcements are PER ROUND and carry
+    // the leader's post-converge pick: every value entering round r+1 is
+    // a round-r pick, so once any round commits, C-Agreement's <= k
+    // picked values bound every later value in the system. (A write-once
+    // announcement would leak pre-elimination values back in and break
+    // agreement — caught by the randomized soak tests.)
+    const ProcSet leaders = (co_await env.queryFd()).scalar.asSet();
+    if (leaders.contains(env.me())) {
+      co_await env.write(env.reg(sim::ObjKey{"omk.Ann", r + 1, env.me()}),
+                         RegVal(v));
+    }
+    // Adopt some leader's round-r+1 announcement; at most k exist, and
+    // after the detector stabilizes one of them is written by a correct
+    // leader every round, so all correct processes enter round r+1 with
+    // <= k distinct values and k-converge commits. While waiting,
+    // re-check the detector (pre-stabilization junk must not block) and
+    // D (a decision releases everyone).
+    for (;;) {
+      bool adopted = false;
+      for (Pid q : leaders.members()) {
+        const RegVal a =
+            (co_await env.read(env.reg(sim::ObjKey{"omk.Ann", r + 1, q})))
+                .scalar;
+        if (!a.isBottom()) {
+          v = a.asInt();
+          adopted = true;
+          break;
+        }
+      }
+      if (adopted) break;
+      const RegVal d = (co_await env.read(d_reg)).scalar;
+      if (!d.isBottom()) {
+        env.decide(d.asInt());
+        co_return Unit{};
+      }
+      const ProcSet l2 = (co_await env.queryFd()).scalar.asSet();
+      if (l2 != leaders) break;  // not stable yet: keep own pick
+    }
+  }
+}
+
+Coro<Unit> omegaConsensus(Env& env, Value v) {
+  return omegaKSetAgreement(env, 1, v);
+}
+
+}  // namespace wfd::core

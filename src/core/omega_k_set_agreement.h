@@ -1,0 +1,40 @@
+// Baseline: Omega^k-based k-set agreement (Neiger [18]; see also
+// Mostefaoui–Raynal–Travers [17]).
+//
+// The paper's Corollaries 3-4 contrast Upsilon against Omega_n, which was
+// previously known to solve n-resilient n-set-agreement from registers.
+// We ship an Omega^k-based k-set-agreement protocol as that baseline:
+//
+//   round r:  (v, c) := k-converge[r](v); commit -> write D, decide;
+//             L := Omega^k output;
+//             if me in L: Ann[r+1][me] := v   (my post-converge pick)
+//             adopt any non-⊥ Ann[r+1][p], p in L (waiting with escape
+//             hatches on detector changes and on D).
+//
+// Once Omega^k stabilizes on L (>= 1 correct leader), every correct
+// process enters some round with one of the <= k leader announcements,
+// and k-converge commits by Convergence. Safety: announcements are per
+// round and carry post-converge picks, so every value in the system
+// after the first committing round r is one of conv[r]'s <= k picked
+// values (C-Agreement) — at most k values are ever decided. (An earlier
+// write-once announcement scheme leaked pre-elimination values back into
+// later rounds and was caught violating agreement by the randomized soak
+// tests; see tests/soak_test.cc.)
+#pragma once
+
+#include "sim/env.h"
+
+namespace wfd::core {
+
+using sim::Coro;
+using sim::Env;
+using sim::Unit;
+
+// k-set agreement from Omega^k. Requires an Omega^k detector installed.
+Coro<Unit> omegaKSetAgreement(Env& env, int k, Value v);
+
+// Consensus from Omega (k = 1), the Chandra–Hadzilacos–Toueg setting the
+// paper compares against for n+1 = 2 (Sect. 4: Upsilon ~ Omega there).
+Coro<Unit> omegaConsensus(Env& env, Value v);
+
+}  // namespace wfd::core

@@ -1,0 +1,75 @@
+#include "core/phi_maps.h"
+
+namespace wfd::core {
+
+namespace {
+
+class FnPhi final : public PhiMap {
+ public:
+  FnPhi(std::string name, std::function<PhiResult(const ProcSet&)> fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+  PhiResult map(const ProcSet& d) const override { return fn_(d); }
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::function<PhiResult(const ProcSet&)> fn_;
+};
+
+}  // namespace
+
+PhiPtr phiOmegaK(int n_plus_1) {
+  return std::make_shared<FnPhi>(
+      "phi[Omega^k]", [n_plus_1](const ProcSet& d) {
+        // A history where d is output forever while every member of d is
+        // faulty violates Omega^k. If d = Pi (only possible when k = n+1)
+        // no process set is left; fall back to excluding p1's solo run,
+        // which Omega^{n+1} = "output Pi" cannot contradict — but
+        // Omega^{n+1} is trivial and never reaches this map in practice.
+        ProcSet s = d.complement(n_plus_1);
+        if (s.empty()) s = ProcSet::singleton(0);
+        return PhiResult{s, 0};
+      });
+}
+
+PhiPtr phiUpsilonSelf() {
+  return std::make_shared<FnPhi>("phi[Upsilon^f]", [](const ProcSet& d) {
+    // Upsilon^f never stabilizes on the correct set itself, so a run with
+    // correct(F) = d observing d forever is not a sample.
+    return PhiResult{d, 0};
+  });
+}
+
+PhiPtr phiAntiOmega() {
+  return std::make_shared<FnPhi>("phi[anti-Omega]", [](const ProcSet& d) {
+    return PhiResult{d, 0};
+  });
+}
+
+PhiPtr phiEventuallyPerfect(int n_plus_1, int f) {
+  return std::make_shared<FnPhi>(
+      "phi[<>P]", [n_plus_1, f](const ProcSet& d) {
+        if (d.empty()) {
+          ProcSet s = ProcSet::full(n_plus_1);
+          s.erase(n_plus_1 - 1);
+          return PhiResult{s, 0};
+        }
+        ProcSet s = d;
+        for (Pid p = 0; p < n_plus_1 && s.size() < n_plus_1 - f; ++p) {
+          s.insert(p);
+        }
+        return PhiResult{s, 0};
+      });
+}
+
+PhiPtr phiWithInflatedW(PhiPtr base, int w) {
+  return std::make_shared<FnPhi>(
+      base->name() + "+w" + std::to_string(w),
+      [base, w](const ProcSet& d) {
+        PhiResult r = base->map(d);
+        r.w = w;
+        return r;
+      });
+}
+
+}  // namespace wfd::core

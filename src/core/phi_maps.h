@@ -1,0 +1,68 @@
+// The map phi_D of Corollary 9.
+//
+// For an f-non-trivial failure detector D, phi_D carries each output
+// value d to (correct(sigma), w(sigma)) for some sequence sigma in
+// (Pi x {d})* that is NOT an f-resilient sample of D: a run in which the
+// processes of correct(sigma) run forever observing d (after the
+// processes outside it take w(sigma) "batches" of steps) is incompatible
+// with D's axioms. The paper's proof of Theorem 10 is non-constructive —
+// it only needs phi_D to *exist*. For each concrete detector this library
+// ships, the map is easy to construct, and every instance documents which
+// axiom of D the designated sigma violates. Tests verify that reasoning
+// by checking the axiom directly.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/proc_set.h"
+#include "common/types.h"
+
+namespace wfd::core {
+
+struct PhiResult {
+  ProcSet correct_sigma;  // correct(sigma); |.| >= n+1-f
+  int w = 0;              // w(sigma): batches of steps of Pi-correct(sigma)
+};
+
+class PhiMap {
+ public:
+  virtual ~PhiMap() = default;
+  virtual PhiResult map(const ProcSet& d) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using PhiPtr = std::shared_ptr<const PhiMap>;
+
+// phi for Omega^k in E_f (k <= f): sigma = the processes of Pi - d running
+// forever while d never contains a correct process — violating Omega^k's
+// "eventually contains a correct process". (correct(sigma) = Pi - d,
+// w = 0.) With k = 1 this is phi_Omega.
+PhiPtr phiOmegaK(int n_plus_1);
+
+// phi for Upsilon^f itself: sigma = the processes of d running forever —
+// if correct(F) = d, Upsilon^f may not stabilize on d. (correct(sigma) =
+// d, w = 0.) Feeding Upsilon^f through Fig. 3 with this map must
+// reproduce Upsilon^f's own output — the identity sanity check.
+PhiPtr phiUpsilonSelf();
+
+// phi for stable anti-Omega (singleton output {q}): sigma = {q} running
+// solo — if correct(F) = {q}, a correct process would forever be output,
+// violating anti-Omega. (correct(sigma) = {q} = d, w = 0.)
+PhiPtr phiAntiOmega();
+
+// phi for <>P (output = suspected set) in E_f: if d is non-empty, a run
+// whose correct set CONTAINS d cannot suspect d forever (eventual strong
+// accuracy); pad d up to n+1-f with low ids. If d is empty, a run with a
+// faulty process cannot output "no suspects" forever (strong
+// completeness): designate correct(sigma) = Pi minus its largest id.
+PhiPtr phiEventuallyPerfect(int n_plus_1, int f);
+
+// Wrap any phi with an inflated w > 0. Valid by Lemma 7: if the w = 0
+// sigma is not a sample, no supersequence with the same correct set is
+// either, so a larger w only delays extraction. Exercises Fig. 3's
+// batch-observation machinery.
+PhiPtr phiWithInflatedW(PhiPtr base, int w);
+
+}  // namespace wfd::core

@@ -1,0 +1,87 @@
+#include "core/reductions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace wfd::core {
+
+Coro<Unit> omegaKToUpsilonF(Env& env) {
+  const int n_plus_1 = env.nProcs();
+  for (;;) {
+    const ProcSet leaders = (co_await env.queryFd()).scalar.asSet();
+    // Eventually the same k-set containing a correct process is output
+    // everywhere, so its complement (size n+1-k) cannot be the correct
+    // set: it misses that correct leader.
+    env.publishIfChanged(RegVal(leaders.complement(n_plus_1)));
+  }
+}
+
+Coro<Unit> upsilonToOmegaTwoProcs(Env& env) {
+  assert(env.nProcs() == 2);
+  for (;;) {
+    const ProcSet u = (co_await env.queryFd()).scalar.asSet();
+    const ProcSet comp = u.complement(2);
+    // U != correct(F). If U is a proper singleton, its complement is the
+    // other process, which U's axiom makes a safe leader choice; if
+    // U = {p1,p2} then both processes cannot be correct, so electing
+    // oneself is eventually right for the unique correct process.
+    if (comp.size() == 1) {
+      env.publishIfChanged(RegVal(comp));
+    } else {
+      env.publishIfChanged(RegVal(ProcSet::singleton(env.me())));
+    }
+  }
+}
+
+Coro<Unit> upsilon1ToOmega(Env& env) {
+  const int n_plus_1 = env.nProcs();
+  const sim::ObjId own_hb = env.reg(sim::ObjKey{"red.hb", env.me()});
+  std::int64_t ts = 0;
+  for (;;) {
+    // Ever-growing timestamp heartbeat.
+    ++ts;
+    co_await env.write(own_hb, RegVal(ts));
+
+    const ProcSet u = (co_await env.queryFd()).scalar.asSet();
+    if (u.size() == n_plus_1 - 1) {
+      // Proper subset of size n: elect Pi - U. Upsilon^1's axiom (U is
+      // not the correct set, |correct| >= n) forces Pi - U correct.
+      env.publishIfChanged(RegVal(u.complement(n_plus_1)));
+      continue;
+    }
+    // U = Pi: exactly one process is faulty. Elect the smallest id among
+    // the n processes with the highest timestamps: the faulty process's
+    // timestamp eventually freezes below every correct one's.
+    std::vector<std::pair<std::int64_t, Pid>> hb;
+    hb.reserve(static_cast<std::size_t>(n_plus_1));
+    for (Pid q = 0; q < n_plus_1; ++q) {
+      const RegVal h =
+          (co_await env.read(env.reg(sim::ObjKey{"red.hb", q}))).scalar;
+      hb.emplace_back(h.isBottom() ? 0 : h.asInt(), q);
+    }
+    // Highest timestamps first; drop the single lowest.
+    std::sort(hb.begin(), hb.end(), [](const auto& a, const auto& b) {
+      return a.first != b.first ? a.first > b.first : a.second < b.second;
+    });
+    Pid leader = n_plus_1;  // min id among the first n entries
+    for (int i = 0; i < n_plus_1 - 1; ++i) leader = std::min(leader, hb[static_cast<std::size_t>(i)].second);
+    env.publishIfChanged(RegVal(ProcSet::singleton(leader)));
+  }
+}
+
+Coro<Unit> diamondPToOmega(Env& env) {
+  const int n_plus_1 = env.nProcs();
+  for (;;) {
+    const ProcSet suspected = (co_await env.queryFd()).scalar.asSet();
+    const ProcSet alive = suspected.complement(n_plus_1);
+    // Eventually suspected = faulty(F) exactly, so the smallest
+    // unsuspected process is the smallest correct one — the same correct
+    // leader everywhere. (If everything is suspected — possible only as
+    // pre-stabilization noise — fall back to self.)
+    const Pid leader = alive.empty() ? env.me() : alive.min();
+    env.publishIfChanged(RegVal(ProcSet::singleton(leader)));
+  }
+}
+
+}  // namespace wfd::core

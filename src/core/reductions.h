@@ -1,0 +1,45 @@
+// The explicit reductions of Sect. 4 and 5.3.
+//
+// A reduction is an algorithm that runs forever and maintains the
+// distributed variable D-output (Sect. 3.5) via env.publish(); the
+// checkers in core/checkers.h verify that the published outputs
+// eventually satisfy the target detector's axioms.
+//
+//   omegaKToUpsilonF : "to emulate Upsilon^f, every process simply
+//                      outputs the complement of Omega^f in Pi" (§5.3).
+//                      With k = n it is the Theorem 1 easy direction
+//                      (Omega_n -> Upsilon).
+//   upsilonToOmegaTwoProcs : §4: "to get Omega from Upsilon, every
+//                      process outputs the complement of Upsilon if this
+//                      is a singleton, and the process identifier
+//                      otherwise" (n+1 = 2 only).
+//   upsilon1ToOmega  : §5.3's E_1 reduction: ever-growing timestamps; if
+//                      Upsilon^1 outputs a proper subset of Pi elect its
+//                      complement, otherwise elect the smallest id among
+//                      the n processes with the highest timestamps.
+#pragma once
+
+#include "sim/env.h"
+
+namespace wfd::core {
+
+using sim::Coro;
+using sim::Env;
+using sim::Unit;
+
+// Requires an Omega^k detector installed; publishes Upsilon^f outputs
+// (f = n+1-k resilience: the complement has size n+1-k).
+Coro<Unit> omegaKToUpsilonF(Env& env);
+
+// Requires an Upsilon detector and exactly 2 processes; publishes Omega
+// outputs (singleton sets).
+Coro<Unit> upsilonToOmegaTwoProcs(Env& env);
+
+// Requires an Upsilon^1 detector in E_1; publishes Omega outputs.
+Coro<Unit> upsilon1ToOmega(Env& env);
+
+// The classic <>P -> Omega reduction ([4]-adjacent): elect the smallest
+// unsuspected process. Requires a <>P detector (output = suspected set).
+Coro<Unit> diamondPToOmega(Env& env);
+
+}  // namespace wfd::core

@@ -1,0 +1,82 @@
+#include "core/safe_agreement.h"
+
+#include <cassert>
+
+namespace wfd::core {
+
+namespace {
+
+sim::ObjId cellReg(Env& env, const ObjKey& key, int j) {
+  ObjKey k = key;
+  k.append("#sa");
+  k.append(j);
+  return env.reg(k);
+}
+
+RegVal makeCell(const RegVal& v, int level) {
+  std::vector<RegVal> cell;
+  cell.push_back(v);
+  cell.emplace_back(static_cast<Value>(level));
+  return RegVal::tuple(std::move(cell));
+}
+
+struct CollectResult {
+  bool doorway_occupied = false;  // someone at level 1
+  bool committed_seen = false;    // someone at level 2
+  RegVal min_committed;           // value of smallest-id level-2 cell
+};
+
+Coro<CollectResult> collect(Env& env, const ObjKey& key) {
+  CollectResult out;
+  const int m = env.nProcs();
+  for (int j = 0; j < m; ++j) {
+    const RegVal c = (co_await env.read(cellReg(env, key, j))).scalar;
+    if (c.isBottom()) continue;
+    const auto& t = c.asTuple();
+    const auto level = static_cast<int>(t[1].asInt());
+    if (level == 1) out.doorway_occupied = true;
+    if (level == 2 && !out.committed_seen) {
+      out.committed_seen = true;  // j ascends: first hit = smallest id
+      out.min_committed = t[0];
+    }
+  }
+  co_return out;
+}
+
+}  // namespace
+
+Coro<Unit> saProposeVal(Env& env, ObjKey key, const RegVal& v) {
+  const sim::ObjId own = cellReg(env, key, env.me());
+  co_await env.write(own, makeCell(v, 1));
+  const CollectResult seen = co_await collect(env, key);
+  co_await env.write(own, makeCell(v, seen.committed_seen ? 0 : 2));
+  co_return Unit{};
+}
+
+Coro<Unit> saPropose(Env& env, ObjKey key, Value v) {
+  assert(v != kBottomValue);
+  co_return co_await saProposeVal(env, key, RegVal(v));
+}
+
+Coro<std::optional<RegVal>> saTryResolveVal(Env& env, ObjKey key) {
+  const CollectResult seen = co_await collect(env, key);
+  if (seen.doorway_occupied || !seen.committed_seen) {
+    co_return std::nullopt;
+  }
+  co_return seen.min_committed;
+}
+
+Coro<std::optional<Value>> saTryResolve(Env& env, ObjKey key) {
+  const auto r = co_await saTryResolveVal(env, key);
+  if (!r.has_value()) co_return std::nullopt;
+  co_return r->asInt();
+}
+
+Coro<Value> saResolve(Env& env, ObjKey key) {
+  for (;;) {
+    const auto r = co_await saTryResolve(env, key);
+    if (r.has_value()) co_return *r;
+  }
+}
+
+}  // namespace wfd::core

@@ -1,0 +1,51 @@
+// Safe agreement (Borowsky–Gafni [2]) — the BG-simulation building block.
+//
+// Like consensus, but termination is only guaranteed if no participant
+// fails inside the "doorway": a process that crashes between raising its
+// flag and committing/backing off can block resolution forever. That is
+// precisely the degree of agreement achievable wait-free from registers,
+// and the reason BG simulation tolerates f crashes by running the
+// simulated processes' steps through independent instances (each crash
+// blocks at most one instance at a time).
+//
+// Register construction (levels 0/1/2 per participant):
+//   propose(v): R[i] := (v, 1);            // enter the doorway
+//               collect;
+//               if someone is at level 2:  R[i] := (v, 0)   // back off
+//               else:                      R[i] := (v, 2)   // commit
+//   resolve():  wait until no one is at level 1;            // doorway empty
+//               return the value of the smallest-id level-2 participant.
+//
+// Once some resolver observes an empty doorway, the level-2 set is
+// frozen (any later proposer sees a 2 in its collect and backs off), so
+// every resolution returns the same committed value. Validity is
+// immediate; a level-1 crash is the only way resolve can starve.
+#pragma once
+
+#include <optional>
+
+#include "sim/env.h"
+
+namespace wfd::core {
+
+using sim::Coro;
+using sim::Env;
+using sim::ObjKey;
+using sim::Unit;
+
+// Enter the instance with value v (wait-free; at most once per process).
+// The RegVal overload carries arbitrary payloads (BG simulation agrees
+// on whole snapshot views).
+Coro<Unit> saPropose(Env& env, ObjKey key, Value v);
+Coro<Unit> saProposeVal(Env& env, ObjKey key, const RegVal& v);
+
+// One resolution attempt: the agreed value, or nullopt while some
+// participant is still (or forever) in the doorway.
+Coro<std::optional<Value>> saTryResolve(Env& env, ObjKey key);
+Coro<std::optional<RegVal>> saTryResolveVal(Env& env, ObjKey key);
+
+// Loop saTryResolve until it succeeds. May loop forever if a participant
+// crashed in the doorway — by design.
+Coro<Value> saResolve(Env& env, ObjKey key);
+
+}  // namespace wfd::core

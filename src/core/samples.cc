@@ -1,0 +1,31 @@
+#include "core/samples.h"
+
+namespace wfd::core {
+
+bool isFResilientSample(DetectorFamily family, int n_plus_1, int f,
+                        std::uint64_t param, const ConstantSigma& sigma) {
+  const ProcSet& d = sigma.d;
+  const ProcSet& r = sigma.recurring;
+  // Structural requirements common to every sample: enough recurring
+  // processes, and a realizable failure pattern with correct(F) = R.
+  if (r.size() < n_plus_1 - f) return false;
+  if (r.empty() || !r.subsetOf(ProcSet::full(n_plus_1))) return false;
+  if (r.complement(n_plus_1).size() > f) return false;  // F must be in E_f
+
+  switch (family) {
+    case DetectorFamily::kOmegaK:
+      return d.size() == static_cast<int>(param) && !d.intersect(r).empty();
+    case DetectorFamily::kUpsilonF:
+      return !d.empty() && d.size() >= n_plus_1 - f && d != r;
+    case DetectorFamily::kAntiOmegaStable:
+      return d.size() == 1 && d != r;
+    case DetectorFamily::kEventuallyPerfect:
+    case DetectorFamily::kPerfect:
+      return d == r.complement(n_plus_1);
+    case DetectorFamily::kDummy:
+      return d == ProcSet::fromBits(param);
+  }
+  return false;
+}
+
+}  // namespace wfd::core

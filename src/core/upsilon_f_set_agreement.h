@@ -1,0 +1,35 @@
+// Fig. 2: the Upsilon^f-based f-resilient f-set-agreement protocol
+// (Sect. 5.3).
+//
+// Follows the Fig. 1 skeleton with two changes (reconstructed from the
+// prose and the Theorem 6 proof):
+//   * Rounds open with f-converge instead of n-converge.
+//   * Gladiators (processes in U, |U| >= n+1-f) must jointly commit on at
+//     most |U|+f-n-1 distinct values so that, together with the at most
+//     n+1-|U| citizen values, at most f values survive a stable round. To
+//     do that each gladiator writes its value into atomic snapshot object
+//     A[r][k] (line 16), repeatedly scans until it sees at least n+1-f
+//     non-⊥ entries (lines 17-19), adopts the minimum value of its last
+//     snapshot (line 25) and runs (|U|+f-n-1)-converge[r][k] on it
+//     (line 26). Snapshot containment bounds the number of distinct
+//     adopted values by |U|-1 - (n+1-f) + 1 = |U|+f-n-1 whenever some
+//     gladiator is faulty and all citizens are faulty.
+// The blocking scan loop also polls D[r], D, Stable[r] and Upsilon^f
+// itself, per the escape argument in the Theorem 6 proof ("every correct
+// process that is blocked in lines 17-19 would eventually read the value
+// and escape").
+#pragma once
+
+#include "sim/env.h"
+
+namespace wfd::core {
+
+using sim::Coro;
+using sim::Env;
+using sim::Unit;
+
+// The process automaton for f-resilient f-set agreement. Requires an
+// Upsilon^f (or stronger) detector; run it under a failure pattern in E_f.
+Coro<Unit> upsilonFSetAgreement(Env& env, int f, Value v);
+
+}  // namespace wfd::core

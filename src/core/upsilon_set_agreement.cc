@@ -1,0 +1,92 @@
+#include "core/upsilon_set_agreement.h"
+
+#include <cassert>
+
+#include "core/kconverge.h"
+
+namespace wfd::core {
+
+Coro<Value> upsilonSetAgreementInstance(Env& env, int instance, Value v) {
+  assert(v != kBottomValue);
+  const int n = env.nProcs() - 1;
+  const sim::ObjId d_reg = env.reg(sim::ObjKey{"fig1.D", instance});
+
+  for (int r = 1;; ++r) {
+    // Line 4: try to agree via n-convergence.
+    const Pick p =
+        co_await kConverge(env, sim::ObjKey{"fig1.conv", instance, r}, n, v);
+    v = p.value;
+    if (p.committed) {
+      // Lines 5-6: "If a process pi commits to a value v, then pi writes
+      // v in register D and returns v."
+      co_await env.write(d_reg, RegVal(v));
+      co_return v;
+    }
+    {
+      // Decided values propagate through D (Theorem 2: "every correct
+      // process periodically checks whether D contains a non-⊥ value").
+      const RegVal d = (co_await env.read(d_reg)).scalar;
+      if (!d.isBottom()) co_return d.asInt();
+    }
+
+    // Line 8: query Upsilon; U splits processes into gladiators (in U)
+    // and citizens (outside U).
+    ProcSet prev_u = (co_await env.queryFd()).scalar.asSet();
+
+    const sim::ObjId dr_reg = env.reg(sim::ObjKey{"fig1.Dr", instance, r});
+    const sim::ObjId st_reg = env.reg(sim::ObjKey{"fig1.Stable", instance, r});
+    for (int k = 1;; ++k) {
+      const ProcSet u = (co_await env.queryFd()).scalar.asSet();
+      if (u != prev_u) {
+        // "Whenever a process observes that the output of Upsilon is not
+        // stable in round r, it sets register Stable[r] to true and
+        // proceeds to the next round." (Theorem 2 proof)
+        co_await env.write(st_reg, RegVal(true));
+        break;
+      }
+      if (!u.contains(env.me())) {
+        // Citizen: "pi writes its value in a shared register D[r] and
+        // proceeds to the next round."
+        env.note("citizen", u);
+        co_await env.write(dr_reg, RegVal(v));
+        break;
+      }
+      // Gladiator: "pi takes part in the (|U|-1)-convergence protocol
+      // trying to eliminate one of the values concurrently proposed by
+      // processes in U." 0-converge(v) returns (v, false) by definition.
+      env.note("gladiator", u);
+      const Pick g = co_await kConverge(
+          env, sim::ObjKey{"fig1.sub", instance, r, k}, u.size() - 1, v);
+      // "If a process does not commit on a value picked in
+      // (|U|-1)-converge[r][k], it uses the value in ...[r][k+1]."
+      v = g.value;
+      if (g.committed) {
+        co_await env.write(dr_reg, RegVal(v));
+        break;
+      }
+
+      // Line 17's exit conditions: someone reported instability, a non-⊥
+      // value appeared in D[r], or a decision appeared in D.
+      if ((co_await env.read(st_reg)).scalar == RegVal(true)) break;
+      if (!(co_await env.read(dr_reg)).scalar.isBottom()) break;
+      const RegVal d = (co_await env.read(d_reg)).scalar;
+      if (!d.isBottom()) co_return d.asInt();
+    }
+
+    // "If pi finds D != ⊥ then pi returns D. If pi finds D[r] != ⊥, then
+    // pi adopts the value in D[r] and proceeds to round r+1."
+    const RegVal d = (co_await env.read(d_reg)).scalar;
+    if (!d.isBottom()) co_return d.asInt();
+    const RegVal dr = (co_await env.read(dr_reg)).scalar;
+    if (!dr.isBottom()) v = dr.asInt();
+  }
+}
+
+Coro<Unit> upsilonSetAgreement(Env& env, Value v) {
+  env.propose(v);
+  const Value decision = co_await upsilonSetAgreementInstance(env, 0, v);
+  env.decide(decision);
+  co_return Unit{};
+}
+
+}  // namespace wfd::core

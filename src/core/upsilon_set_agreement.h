@@ -1,0 +1,43 @@
+// Fig. 1: the Upsilon-based wait-free n-set-agreement protocol (Sect. 5.2).
+//
+// Round structure (reconstructed from the prose and the Theorem 2 proof —
+// the original figure is pseudocode; source comments cite the sentences
+// relied upon):
+//   * Each round r starts with n-converge[r]; a commit is written to the
+//     decision register D and decided (lines 4-6).
+//   * Otherwise the process queries Upsilon and enters sub-rounds
+//     (lines 12-17). Processes outside the current output U ("citizens")
+//     write their value to D[r] and advance; processes inside U
+//     ("gladiators") run (|U|-1)-converge[r][k], trying to eliminate one
+//     of U's values.
+//   * A process that observes Upsilon's output change during round r
+//     writes Stable[r] := true; everyone polls Stable[r], D[r] and D and
+//     exits the sub-round loop accordingly. A non-⊥ D[r] is adopted when
+//     moving to round r+1; a non-⊥ D is decided.
+// Eventual correctness: once Upsilon stabilizes on U != correct(F),
+// either a correct citizen exists (writes D[r]) or a gladiator is faulty
+// (eventually (|U|-1)-converge commits), so some round eliminates a value
+// and the next n-converge commits.
+#pragma once
+
+#include "sim/env.h"
+
+namespace wfd::core {
+
+using sim::Coro;
+using sim::Env;
+using sim::Unit;
+
+// The process automaton for p_i = env.me() with proposal v. Decides via
+// env.decide(). Requires an Upsilon (or stronger) detector installed in
+// the world.
+Coro<Unit> upsilonSetAgreement(Env& env, Value v);
+
+// Multi-instance form: Fig. 1 as a reusable object. Distinct `instance`
+// ids name disjoint register families, so a long-lived application can
+// run one set-agreement per epoch/batch. Returns the decision instead of
+// recording a task-level decide event; each process may invoke a given
+// instance at most once.
+Coro<Value> upsilonSetAgreementInstance(Env& env, int instance, Value v);
+
+}  // namespace wfd::core

@@ -1,0 +1,121 @@
+#include "fd/axioms.h"
+
+namespace wfd::fd {
+
+namespace {
+
+AxiomReport fail(std::string msg) {
+  return AxiomReport{false, std::move(msg)};
+}
+
+// Checks eventual agreement on a permanent value among correct processes
+// over [from, horizon]; writes the stable value to *out.
+AxiomReport checkEventuallyConstant(const FailureDetector& fd,
+                                    const FailurePattern& fp, Time from,
+                                    Time horizon, ProcSet* out) {
+  if (from > horizon) {
+    return fail("stabilization witness " + std::to_string(from) +
+                " beyond horizon " + std::to_string(horizon));
+  }
+  const ProcSet correct = fp.correct();
+  const Pid witness = correct.min();
+  const ProcSet stable = fd.query(witness, from);
+  for (Time t = from; t <= horizon; ++t) {
+    for (Pid p : correct.members()) {
+      const ProcSet got = fd.query(p, t);
+      if (got != stable) {
+        return fail("history not stable: H(p" + std::to_string(p + 1) + "," +
+                    std::to_string(t) + ") = " + got.toString() + " vs " +
+                    stable.toString());
+      }
+    }
+  }
+  if (out != nullptr) *out = stable;
+  return {};
+}
+
+}  // namespace
+
+AxiomReport checkUpsilonF(const FailureDetector& fd, const FailurePattern& fp,
+                          int f, Time horizon) {
+  const int n_plus_1 = fp.nProcs();
+  // Range check on a sample of the whole history (all processes, all times
+  // up to the horizon): non-empty sets of size >= n+1-f.
+  for (Time t = 0; t <= horizon; ++t) {
+    for (Pid p = 0; p < n_plus_1; ++p) {
+      const ProcSet s = fd.query(p, t);
+      if (s.empty()) return fail("empty output at t=" + std::to_string(t));
+      if (s.size() < n_plus_1 - f) {
+        return fail("output " + s.toString() + " smaller than n+1-f at t=" +
+                    std::to_string(t));
+      }
+    }
+  }
+  ProcSet stable;
+  AxiomReport r = checkEventuallyConstant(fd, fp, fd.stabilizationTime(),
+                                          horizon, &stable);
+  if (!r.ok) return r;
+  if (stable == fp.correct()) {
+    return fail("stable set " + stable.toString() +
+                " equals the correct set — Upsilon axiom (2) violated");
+  }
+  return {};
+}
+
+AxiomReport checkOmegaK(const FailureDetector& fd, const FailurePattern& fp,
+                        int k, Time horizon) {
+  const int n_plus_1 = fp.nProcs();
+  for (Time t = 0; t <= horizon; ++t) {
+    for (Pid p = 0; p < n_plus_1; ++p) {
+      const ProcSet s = fd.query(p, t);
+      if (s.size() != k) {
+        return fail("output " + s.toString() + " is not a " +
+                    std::to_string(k) + "-set at t=" + std::to_string(t));
+      }
+    }
+  }
+  ProcSet stable;
+  AxiomReport r = checkEventuallyConstant(fd, fp, fd.stabilizationTime(),
+                                          horizon, &stable);
+  if (!r.ok) return r;
+  if (stable.intersect(fp.correct()).empty()) {
+    return fail("stable set " + stable.toString() +
+                " contains no correct process — Omega^k axiom violated");
+  }
+  return {};
+}
+
+AxiomReport checkStable(const FailureDetector& fd, const FailurePattern& fp,
+                        Time horizon) {
+  return checkEventuallyConstant(fd, fp, fd.stabilizationTime(), horizon,
+                                 nullptr);
+}
+
+AxiomReport checkEventuallyPerfect(const FailureDetector& fd,
+                                   const FailurePattern& fp, Time horizon,
+                                   bool perfect) {
+  if (perfect) {
+    // Strong accuracy at every time: no process suspected before its
+    // crash time (completeness is covered by the eventual check below).
+    for (Time t = 0; t <= horizon; ++t) {
+      for (Pid p = 0; p < fp.nProcs(); ++p) {
+        const ProcSet s = fd.query(p, t);
+        if (!s.minus(fp.crashedBy(t)).empty()) {
+          return fail("P suspected a live process at t=" + std::to_string(t) +
+                      ": " + s.toString());
+        }
+      }
+    }
+  }
+  ProcSet stable;
+  AxiomReport r = checkEventuallyConstant(fd, fp, fd.stabilizationTime(),
+                                          horizon, &stable);
+  if (!r.ok) return r;
+  if (stable != fp.faulty()) {
+    return fail("stable suspicion set " + stable.toString() +
+                " is not exactly faulty(F) = " + fp.faulty().toString());
+  }
+  return {};
+}
+
+}  // namespace wfd::fd

@@ -1,0 +1,46 @@
+// Axiom checkers: certify that a generated history really belongs to D(F).
+//
+// Every experiment's conclusion hinges on the failure detector history
+// being *legal* — a set-agreement run "solved with Upsilon" proves nothing
+// if the history violated Upsilon's axioms. These checkers sample H(p, t)
+// over a horizon and verify the published definitions:
+//   Upsilon^f: outputs non-empty, size >= n+1-f; eventually the same set,
+//              != correct(F), permanently at all correct processes.
+//   Omega^k:   outputs size k; eventually the same set, containing a
+//              correct process, permanently at all correct processes.
+//   stability: eventually the same value permanently at all correct
+//              processes (Sect. 6.2).
+// A check needs a stabilization witness: we use fd.stabilizationTime() and
+// verify stability on [witness, horizon].
+#pragma once
+
+#include <string>
+
+#include "fd/failure_detector.h"
+
+namespace wfd::fd {
+
+struct AxiomReport {
+  bool ok = true;
+  std::string violation;  // human-readable first failure
+};
+
+AxiomReport checkUpsilonF(const FailureDetector& fd, const FailurePattern& fp,
+                          int f, Time horizon);
+
+AxiomReport checkOmegaK(const FailureDetector& fd, const FailurePattern& fp,
+                        int k, Time horizon);
+
+// Stability alone (Sect. 6.2): same value at all correct processes from
+// the witness time through the horizon.
+AxiomReport checkStable(const FailureDetector& fd, const FailurePattern& fp,
+                        Time horizon);
+
+// <>P: eventually the output equals exactly faulty(F) at all correct
+// processes. With `perfect` also enforce strong accuracy over the whole
+// horizon (never suspect a process before it crashes).
+AxiomReport checkEventuallyPerfect(const FailureDetector& fd,
+                                   const FailurePattern& fp, Time horizon,
+                                   bool perfect = false);
+
+}  // namespace wfd::fd

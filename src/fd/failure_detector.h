@@ -1,0 +1,45 @@
+// Failure detector oracles (paper Sect. 3.2).
+//
+// A failure detector D maps each failure pattern F to a set of histories
+// D(F); a history H gives the module output H(p, t). This library fixes
+// the range of every shipped detector to ProcSet: Upsilon/Upsilon^f output
+// process sets by definition, Omega outputs a singleton set {leader}, and
+// Omega^k a k-sized set — so reductions can relay outputs through shared
+// registers without type erasure.
+//
+// An implementation *is* one history for one failure pattern: query(p, t)
+// must be a pure function of (p, t) given construction parameters, so that
+// re-querying is consistent no matter how the scheduler interleaves steps.
+// Axiom checkers that certify a generated history really belongs to D(F)
+// live in fd/axioms.h.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/proc_set.h"
+#include "common/types.h"
+#include "sim/failure_pattern.h"
+
+namespace wfd::fd {
+
+using sim::FailurePattern;
+
+class FailureDetector {
+ public:
+  virtual ~FailureDetector() = default;
+
+  // H(p, t): the value of p's module at time t. Must be deterministic.
+  virtual ProcSet query(Pid p, Time t) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  // The time by which this particular history has provably stabilized
+  // (kNeverCrashes if the detector gives no such bound). Tests use it to
+  // pick run budgets; algorithms must never look at it.
+  [[nodiscard]] virtual Time stabilizationTime() const = 0;
+};
+
+using FdPtr = std::shared_ptr<const FailureDetector>;
+
+}  // namespace wfd::fd

@@ -1,0 +1,51 @@
+#include "fd/mapped.h"
+
+#include <algorithm>
+
+namespace wfd::fd {
+
+FdPtr makeMapped(FdPtr inner, MappedFd::MapFn fn, std::string name) {
+  return std::make_shared<MappedFd>(std::move(inner), std::move(fn),
+                                    std::move(name));
+}
+
+FdPtr makeComplemented(FdPtr inner, int n_plus_1) {
+  const std::string name = "complement(" + inner->name() + ")";
+  return makeMapped(
+      std::move(inner),
+      [n_plus_1](const ProcSet& s, Pid, Time) {
+        return s.complement(n_plus_1);
+      },
+      name);
+}
+
+RecordedFd::RecordedFd(const sim::Trace& trace, int n_plus_1, ProcSet initial,
+                       std::string name)
+    : timeline_(static_cast<std::size_t>(n_plus_1)),
+      initial_(initial),
+      name_(std::move(name)) {
+  for (const auto& e : trace.ofKind(sim::EventKind::kPublish)) {
+    if (e.pid < 0 || e.pid >= n_plus_1 || !e.value.isSet()) continue;
+    timeline_[static_cast<std::size_t>(e.pid)].emplace_back(e.time,
+                                                            e.value.asSet());
+    stab_ = std::max(stab_, e.time);
+  }
+}
+
+ProcSet RecordedFd::query(Pid p, Time t) const {
+  const auto& tl = timeline_.at(static_cast<std::size_t>(p));
+  // Last event at or before t.
+  auto it = std::upper_bound(
+      tl.begin(), tl.end(), t,
+      [](Time x, const std::pair<Time, ProcSet>& e) { return x < e.first; });
+  if (it == tl.begin()) return initial_;
+  return std::prev(it)->second;
+}
+
+FdPtr makeRecorded(const sim::Trace& trace, int n_plus_1, ProcSet initial,
+                   std::string name) {
+  return std::make_shared<RecordedFd>(trace, n_plus_1, initial,
+                                      std::move(name));
+}
+
+}  // namespace wfd::fd

@@ -1,0 +1,74 @@
+// Derived failure detector histories.
+//
+// MappedFd applies a pure per-query transformation to another history —
+// exactly what a *stateless* reduction algorithm computes (e.g. the
+// complementation reductions of Sect. 4/5.3). It lets an algorithm
+// consume "D through the lens of the reduction" in a single run, without
+// relaying values through memory.
+//
+// RecordedFd replays the kPublish timeline of a previous run as a
+// history: the output of a *stateful* reduction (Fig. 3, or an
+// algorithmic detector implementation) becomes a first-class detector
+// for a subsequent run — modular composition of reductions, as the
+// paper's framework composes them.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "fd/failure_detector.h"
+#include "sim/trace.h"
+
+namespace wfd::fd {
+
+class MappedFd final : public FailureDetector {
+ public:
+  using MapFn = std::function<ProcSet(const ProcSet&, Pid, Time)>;
+
+  MappedFd(FdPtr inner, MapFn fn, std::string name)
+      : inner_(std::move(inner)), fn_(std::move(fn)), name_(std::move(name)) {}
+
+  ProcSet query(Pid p, Time t) const override {
+    return fn_(inner_->query(p, t), p, t);
+  }
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] Time stabilizationTime() const override {
+    return inner_->stabilizationTime();
+  }
+
+ private:
+  FdPtr inner_;
+  MapFn fn_;
+  std::string name_;
+};
+
+FdPtr makeMapped(FdPtr inner, MappedFd::MapFn fn, std::string name);
+
+// The Sect. 4 complement lens: Omega^k seen as Upsilon^{n+1-k}.
+FdPtr makeComplemented(FdPtr inner, int n_plus_1);
+
+class RecordedFd final : public FailureDetector {
+ public:
+  // Replays the kPublish events of `trace` (only entries whose value is a
+  // ProcSet). Queries before a process's first publish return `initial`;
+  // queries after the last recorded event return the last value.
+  RecordedFd(const sim::Trace& trace, int n_plus_1, ProcSet initial,
+             std::string name);
+
+  ProcSet query(Pid p, Time t) const override;
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] Time stabilizationTime() const override { return stab_; }
+
+ private:
+  std::vector<std::vector<std::pair<Time, ProcSet>>> timeline_;
+  ProcSet initial_;
+  Time stab_ = 0;
+  std::string name_;
+};
+
+FdPtr makeRecorded(const sim::Trace& trace, int n_plus_1, ProcSet initial,
+                   std::string name);
+
+}  // namespace wfd::fd

@@ -1,0 +1,49 @@
+#include "fd/perfect.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace wfd::fd {
+
+namespace {
+
+Time lastCrashTime(const FailurePattern& fp) {
+  Time last = 0;
+  for (Pid p = 0; p < fp.nProcs(); ++p) {
+    if (!fp.isCorrect(p)) last = std::max(last, fp.crashTime(p));
+  }
+  return last;
+}
+
+}  // namespace
+
+Time PerfectFd::stabilizationTime() const { return lastCrashTime(fp_); }
+
+ProcSet EventuallyPerfectFd::query(Pid p, Time t) const {
+  if (t >= stabilizationTime()) return fp_.faulty();
+  // Pre-stabilization: arbitrary suspicion sets (possibly suspecting live
+  // processes, missing crashed ones) — <>P permits anything here.
+  const std::uint64_t bits = hashedUniform(
+      params_.noise_seed ^ 0xD1A0, static_cast<std::uint64_t>(p) + 1,
+      static_cast<std::uint64_t>(t), std::uint64_t{1} << fp_.nProcs());
+  return ProcSet::fromBits(bits);
+}
+
+Time EventuallyPerfectFd::stabilizationTime() const {
+  return std::max(params_.stab_time, lastCrashTime(fp_));
+}
+
+FdPtr makePerfect(const FailurePattern& fp) {
+  return std::make_shared<PerfectFd>(fp);
+}
+
+FdPtr makeEventuallyPerfect(const FailurePattern& fp, Time stab_time,
+                            std::uint64_t noise_seed) {
+  EventuallyPerfectFd::Params p;
+  p.stab_time = stab_time;
+  p.noise_seed = noise_seed;
+  return std::make_shared<EventuallyPerfectFd>(fp, p);
+}
+
+}  // namespace wfd::fd

@@ -1,0 +1,58 @@
+// The classic Chandra–Toueg detectors P and ◇P ([4] in the paper).
+//
+// The paper's Sect. 6.2 notes that "most failure detectors proposed in
+// the literature for solving decision problems in the shared memory
+// model are stable or equivalent to some stable failure detectors" — P
+// and ◇P are the canonical examples, so the library ships them as extra
+// sources for the Fig. 3 extraction (both are f-non-trivial for f >= 1:
+// ◇P yields Omega by electing the smallest unsuspected process).
+//
+// Output convention: the set of SUSPECTED processes.
+//   P  (perfect):       H(p, t) = F(t) — exactly the processes crashed by
+//                       t (strong completeness + strong accuracy).
+//   ◇P (eventually
+//       perfect):       arbitrary until stab_time, then exactly
+//                       faulty(F) forever.
+// Both histories are stable: they converge to faulty(F) at all correct
+// processes.
+#pragma once
+
+#include "fd/failure_detector.h"
+
+namespace wfd::fd {
+
+class PerfectFd final : public FailureDetector {
+ public:
+  explicit PerfectFd(FailurePattern fp) : fp_(std::move(fp)) {}
+
+  ProcSet query(Pid, Time t) const override { return fp_.crashedBy(t); }
+  [[nodiscard]] std::string name() const override { return "P"; }
+  [[nodiscard]] Time stabilizationTime() const override;
+
+ private:
+  FailurePattern fp_;
+};
+
+class EventuallyPerfectFd final : public FailureDetector {
+ public:
+  struct Params {
+    Time stab_time = 0;
+    std::uint64_t noise_seed = 0;
+  };
+  EventuallyPerfectFd(FailurePattern fp, Params p)
+      : fp_(std::move(fp)), params_(p) {}
+
+  ProcSet query(Pid p, Time t) const override;
+  [[nodiscard]] std::string name() const override { return "<>P"; }
+  [[nodiscard]] Time stabilizationTime() const override;
+
+ private:
+  FailurePattern fp_;
+  Params params_;
+};
+
+FdPtr makePerfect(const FailurePattern& fp);
+FdPtr makeEventuallyPerfect(const FailurePattern& fp, Time stab_time,
+                            std::uint64_t noise_seed = 0);
+
+}  // namespace wfd::fd

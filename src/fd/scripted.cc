@@ -1,0 +1,15 @@
+#include "fd/scripted.h"
+
+namespace wfd::fd {
+
+FdPtr makeScripted(std::string name, ScriptedFd::HistoryFn fn,
+                   Time stab_time) {
+  return std::make_shared<ScriptedFd>(std::move(name), std::move(fn),
+                                      stab_time);
+}
+
+FdPtr makeConstant(ProcSet constant) {
+  return std::make_shared<DummyFd>(constant);
+}
+
+}  // namespace wfd::fd

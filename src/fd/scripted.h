@@ -1,0 +1,52 @@
+// Scripted and trivial ("dummy") failure detectors.
+//
+// ScriptedFd wraps an arbitrary deterministic function H(p, t) — the tool
+// the adversarial tests use to realize the exact histories the paper's
+// proofs construct (e.g. "Upsilon permanently outputs {p1,...,pn} at all
+// processes" in Theorem 1).
+//
+// DummyFd always outputs the same value; it carries no failure information
+// and is implementable in an asynchronous system (paper Sect. 6.3). It is
+// the yardstick for f-resilient solvability.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "fd/failure_detector.h"
+
+namespace wfd::fd {
+
+class ScriptedFd final : public FailureDetector {
+ public:
+  using HistoryFn = std::function<ProcSet(Pid, Time)>;
+
+  ScriptedFd(std::string name, HistoryFn fn, Time stab_time)
+      : name_(std::move(name)), fn_(std::move(fn)), stab_time_(stab_time) {}
+
+  ProcSet query(Pid p, Time t) const override { return fn_(p, t); }
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] Time stabilizationTime() const override { return stab_time_; }
+
+ private:
+  std::string name_;
+  HistoryFn fn_;
+  Time stab_time_;
+};
+
+class DummyFd final : public FailureDetector {
+ public:
+  explicit DummyFd(ProcSet constant) : constant_(constant) {}
+
+  ProcSet query(Pid, Time) const override { return constant_; }
+  [[nodiscard]] std::string name() const override { return "Dummy"; }
+  [[nodiscard]] Time stabilizationTime() const override { return 0; }
+
+ private:
+  ProcSet constant_;
+};
+
+FdPtr makeScripted(std::string name, ScriptedFd::HistoryFn fn, Time stab_time);
+FdPtr makeConstant(ProcSet constant);
+
+}  // namespace wfd::fd

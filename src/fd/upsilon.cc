@@ -1,0 +1,100 @@
+#include "fd/upsilon.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace wfd::fd {
+
+namespace {
+
+// Deterministic pre-stabilization noise: a set of size >= min_size drawn
+// as a pure function of (seed, salt, t) so re-queries agree.
+ProcSet noiseSet(int n_plus_1, int min_size, std::uint64_t seed,
+                 std::uint64_t salt, Time t) {
+  assert(min_size >= 1 && min_size <= n_plus_1);
+  // Start from a random base offset and take min_size cyclic members, then
+  // add each remaining process independently with probability ~1/2.
+  ProcSet s;
+  const auto base = static_cast<int>(hashedUniform(
+      seed, salt, static_cast<std::uint64_t>(t) * 2 + 0,
+      static_cast<std::uint64_t>(n_plus_1)));
+  for (int i = 0; i < min_size; ++i) s.insert((base + i) % n_plus_1);
+  const std::uint64_t extra_bits = hashedUniform(
+      seed, salt, static_cast<std::uint64_t>(t) * 2 + 1,
+      ~std::uint64_t{0});
+  for (int p = 0; p < n_plus_1; ++p) {
+    if (!s.contains(p) && ((extra_bits >> p) & 1) != 0) s.insert(p);
+  }
+  return s;
+}
+
+}  // namespace
+
+UpsilonFd::UpsilonFd(const FailurePattern& fp, int f, Params p)
+    : n_plus_1_(fp.nProcs()), f_(f), params_(std::move(p)) {
+  assert(f_ >= 1 && f_ <= n_plus_1_ - 1);
+  assert(!params_.stable_set.empty() && "Upsilon range excludes the empty set");
+  assert(params_.stable_set.size() >= n_plus_1_ - f_ &&
+         "Upsilon^f outputs sets of size >= n+1-f");
+  assert(params_.stable_set.subsetOf(ProcSet::full(n_plus_1_)));
+  assert(params_.stable_set != fp.correct() &&
+         "stable set must not be the set of correct processes");
+}
+
+ProcSet UpsilonFd::query(Pid p, Time t) const {
+  assert(p >= 0 && p < n_plus_1_);
+  if (t >= params_.stab_time) return params_.stable_set;
+  const std::uint64_t salt =
+      params_.per_process_noise ? static_cast<std::uint64_t>(p) + 1 : 0;
+  return noiseSet(n_plus_1_, n_plus_1_ - f_, params_.noise_seed ^ 0xC0FFEE,
+                  salt, t / std::max<Time>(params_.noise_hold, 1));
+}
+
+std::string UpsilonFd::name() const {
+  return (f_ == n_plus_1_ - 1) ? "Upsilon" : "Upsilon^" + std::to_string(f_);
+}
+
+ProcSet UpsilonFd::defaultStableSet(const FailurePattern& fp, int f) {
+  const int n_plus_1 = fp.nProcs();
+  const ProcSet all = ProcSet::full(n_plus_1);
+  if (fp.correct() != all) return all;  // someone faulty: Pi != correct(F)
+  (void)f;  // |Pi - {p}| = n >= n+1-f for every f >= 1
+  ProcSet s = all;
+  s.erase(n_plus_1 - 1);
+  return s;
+}
+
+FdPtr makeUpsilon(const FailurePattern& fp, Time stab_time,
+                  std::uint64_t noise_seed) {
+  return makeUpsilonF(fp, fp.nProcs() - 1, stab_time, noise_seed);
+}
+
+FdPtr makeUpsilon(const FailurePattern& fp, ProcSet stable_set, Time stab_time,
+                  std::uint64_t noise_seed) {
+  return makeUpsilonF(fp, fp.nProcs() - 1, std::move(stable_set), stab_time,
+                      noise_seed);
+}
+
+FdPtr makeUpsilonF(const FailurePattern& fp, int f, Time stab_time,
+                   std::uint64_t noise_seed) {
+  return makeUpsilonF(fp, f, UpsilonFd::defaultStableSet(fp, f), stab_time,
+                      noise_seed);
+}
+
+FdPtr makeUpsilonF(const FailurePattern& fp, int f, ProcSet stable_set,
+                   Time stab_time, std::uint64_t noise_seed) {
+  UpsilonFd::Params p;
+  p.stable_set = std::move(stable_set);
+  p.stab_time = stab_time;
+  p.noise_seed = noise_seed;
+  return std::make_shared<UpsilonFd>(fp, f, std::move(p));
+}
+
+FdPtr makeUpsilonWithParams(const FailurePattern& fp, int f,
+                            UpsilonFd::Params p) {
+  return std::make_shared<UpsilonFd>(fp, f, std::move(p));
+}
+
+}  // namespace wfd::fd

@@ -1,0 +1,35 @@
+// One-shot immediate snapshot (Borowsky–Gafni), from registers.
+//
+// The f-resilient set-agreement impossibility the paper builds on ([2])
+// was proved through the immediate-snapshot model; we ship the object as
+// part of the substrate inventory. A participant writes its value and
+// obtains a view S such that:
+//   Self-inclusion: own value in S.
+//   Containment:    any two views are ordered by inclusion.
+//   Immediacy:      if j's value is in S_i, then S_j is a subset of S_i.
+// (Immediacy is what plain atomic snapshots lack, and why IS is the
+// combinatorially clean object of the topological proofs.)
+//
+// Classic level-descent construction: starting at level n+1, repeatedly
+// descend one level, publish (value, level), collect, and stop when at
+// least `level` processes sit at or below the current level.
+#pragma once
+
+#include <vector>
+
+#include "sim/env.h"
+
+namespace wfd::mem {
+
+using sim::Coro;
+using sim::Env;
+using sim::ObjKey;
+
+// Participate in the one-shot immediate snapshot named `key` with value
+// v. Returns an (n+1)-slot view: slot j holds p_j's value if p_j is in
+// the returned view, ⊥ otherwise. Each process may invoke a given
+// instance at most once.
+Coro<std::vector<RegVal>> immediateSnapshot(Env& env, ObjKey key,
+                                            const RegVal& v);
+
+}  // namespace wfd::mem

@@ -1,0 +1,81 @@
+#include "memory/linearizability.h"
+
+#include <cassert>
+#include <functional>
+
+namespace wfd::mem {
+
+namespace {
+
+// Shared backtracking core: `apply` attempts to linearize op i in the
+// given state (returning false if its result contradicts the state) and
+// must undo nothing — state is copied per branch (histories are small).
+struct Searcher {
+  const std::vector<OpRecord>* ops;
+  std::uint32_t all_mask;
+
+  // Is op i minimal in the precedence order among remaining ops? (No
+  // remaining op responded before i was invoked.)
+  bool minimal(std::uint32_t remaining, std::size_t i) const {
+    const Time inv_i = (*ops)[i].inv;
+    for (std::size_t j = 0; j < ops->size(); ++j) {
+      if (j == i || ((remaining >> j) & 1) == 0) continue;
+      if ((*ops)[j].res < inv_i) return false;
+    }
+    return true;
+  }
+
+  template <class State, class Apply>
+  bool dfs(std::uint32_t remaining, const State& state,
+           const Apply& apply) const {
+    if (remaining == 0) return true;
+    for (std::size_t i = 0; i < ops->size(); ++i) {
+      if (((remaining >> i) & 1) == 0) continue;
+      if (!minimal(remaining, i)) continue;
+      State next = state;
+      if (!apply(i, next)) continue;
+      if (dfs(remaining & ~(std::uint32_t{1} << i), next, apply)) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+bool isLinearizableRegister(const std::vector<OpRecord>& history) {
+  assert(history.size() <= 24 && "checker is exponential; keep it small");
+  Searcher s{&history, (std::uint32_t{1} << history.size()) - 1};
+  const RegVal initial;  // ⊥
+  const auto apply = [&](std::size_t i, RegVal& state) {
+    const OpRecord& op = history[i];
+    if (op.kind == OpRecord::Kind::kWrite) {
+      state = op.value;
+      return true;
+    }
+    assert(op.kind == OpRecord::Kind::kRead);
+    return state == op.value;
+  };
+  return s.dfs(s.all_mask, initial, apply);
+}
+
+bool isLinearizableSnapshot(const std::vector<OpRecord>& history, int slots) {
+  assert(history.size() <= 24 && "checker is exponential; keep it small");
+  Searcher s{&history, (std::uint32_t{1} << history.size()) - 1};
+  const std::vector<RegVal> initial(static_cast<std::size_t>(slots));
+  const auto apply = [&](std::size_t i, std::vector<RegVal>& state) {
+    const OpRecord& op = history[i];
+    if (op.kind == OpRecord::Kind::kUpdate) {
+      state.at(static_cast<std::size_t>(op.slot)) = op.value;
+      return true;
+    }
+    assert(op.kind == OpRecord::Kind::kScan);
+    if (op.view.size() != state.size()) return false;
+    for (std::size_t k = 0; k < state.size(); ++k) {
+      if (!(state[k] == op.view[k])) return false;
+    }
+    return true;
+  };
+  return s.dfs(s.all_mask, initial, apply);
+}
+
+}  // namespace wfd::mem

@@ -1,0 +1,40 @@
+// Linearizability checking (Herlihy & Wing [15], cited by the paper as
+// the correctness condition for its shared objects).
+//
+// A small Wing–Gong-style backtracking checker for concurrent histories
+// of a single register or a single snapshot object. Tests record
+// operation intervals from real runs (invoke/response trace notes) and
+// ask whether some linearization — a total order extending the
+// real-time precedence order — matches the sequential specification:
+//   register: a read returns the latest linearized write (⊥ if none);
+//   snapshot: a scan returns, per slot, the latest linearized update.
+//
+// Exponential in the worst case; intended for the small adversarial
+// histories the substrate tests construct (<= ~24 operations).
+#pragma once
+
+#include <vector>
+
+#include "common/reg_val.h"
+#include "common/types.h"
+
+namespace wfd::mem {
+
+struct OpRecord {
+  enum class Kind { kWrite, kRead, kUpdate, kScan };
+  Pid pid = -1;
+  Time inv = 0;   // at or before the operation's first atomic step
+  Time res = 0;   // at or after its last atomic step
+  Kind kind = Kind::kWrite;
+  int slot = -1;                // update: which slot
+  RegVal value;                 // write/update argument, read result
+  std::vector<RegVal> view;     // scan result
+};
+
+// Single register histories (kWrite/kRead records).
+bool isLinearizableRegister(const std::vector<OpRecord>& history);
+
+// Single snapshot-object histories (kUpdate/kScan records).
+bool isLinearizableSnapshot(const std::vector<OpRecord>& history, int slots);
+
+}  // namespace wfd::mem

@@ -1,0 +1,36 @@
+// Multi-writer multi-reader atomic register from single-writer cells
+// (Vitányi–Awerbuch style, unbounded timestamps).
+//
+// The paper treats MWMR atomic registers as the base shared object. The
+// simulator's registers are natively MWMR; this module additionally
+// discharges the classical construction one level down: every process
+// owns a single-writer cell holding (timestamp, writer-id, value);
+// writers collect, pick a fresh timestamp, and publish; readers collect,
+// pick the (ts, id)-maximal entry, and write it back through their own
+// cell before returning (the write-back is what makes concurrent reads
+// atomic rather than merely regular).
+//
+// Cost: one write + n+1 reads per write; n+1 reads + one write per read.
+#pragma once
+
+#include <utility>
+
+#include "sim/env.h"
+
+namespace wfd::mem {
+
+using sim::Coro;
+using sim::Env;
+using sim::ObjKey;
+using sim::Unit;
+
+struct MwmrRead {
+  RegVal value;          // ⊥ if never written
+  std::int64_t ts = 0;   // linearization witness: (ts, writer) pairs are
+  Pid writer = -1;       // totally ordered and monotone along any read
+};
+
+Coro<Unit> mwmrWrite(Env& env, ObjKey key, const RegVal& v);
+Coro<MwmrRead> mwmrRead(Env& env, ObjKey key);
+
+}  // namespace wfd::mem

@@ -1,0 +1,56 @@
+// Atomic snapshot objects (Afek, Attiya, Dolev, Gafni, Merritt, Shavit).
+//
+// Fig. 2 of the paper relies on single-writer atomic snapshots, and on the
+// fact that they are implementable from registers alone. We provide both:
+//   * kNative — the object is a base shared object; update and scan each
+//     cost one atomic step (the idealized oracle-like object).
+//   * kAfek   — the wait-free construction from registers: scans are
+//     double collects, with "borrowed" embedded scans after a writer is
+//     observed moving twice. This is the implementation that discharges
+//     the paper's "atomic snapshots can be implemented from registers"
+//     assumption ([1] in the paper).
+// Both flavors guarantee that scans are related by containment, which is
+// the property the Fig. 2 termination proof leans on.
+//
+// Slots are single-writer: slot i is only ever updated by process p_i
+// (matching the paper's A[r][k][i] usage).
+#pragma once
+
+#include <vector>
+
+#include "sim/env.h"
+
+namespace wfd::mem {
+
+using sim::Coro;
+using sim::Env;
+using sim::ObjKey;
+using sim::SnapshotFlavor;
+using sim::Unit;
+
+struct SnapshotHandle {
+  ObjKey key;
+  int slots = 0;
+  SnapshotFlavor flavor = SnapshotFlavor::kNative;
+};
+
+// Handle construction is free (naming, not memory access). The 2-argument
+// form uses the world's configured default flavor.
+SnapshotHandle makeSnapshot(Env& env, ObjKey key, int slots);
+SnapshotHandle makeSnapshot(ObjKey key, int slots, SnapshotFlavor flavor);
+
+// update(i, v) / scan() per the paper's object definition. The RegVal is
+// taken by const& (coroutine parameters must be trivially copyable or
+// references — see sim/object_table.h); the referenced value only needs
+// to live until the returned Coro is awaited, which every call site does
+// within the same full expression.
+Coro<Unit> snapshotUpdate(Env& env, const SnapshotHandle& h, int slot,
+                          const RegVal& v);
+Coro<std::vector<RegVal>> snapshotScan(Env& env, const SnapshotHandle& h);
+
+// ---- Small helpers over scan results ----
+int nonBottomCount(const std::vector<RegVal>& slots);
+std::vector<Value> distinctValues(const std::vector<RegVal>& slots);
+Value minValue(const std::vector<RegVal>& slots);  // kBottomValue if empty
+
+}  // namespace wfd::mem

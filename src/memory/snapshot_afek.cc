@@ -1,0 +1,147 @@
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <string>
+
+#include "memory/snapshot.h"
+
+namespace wfd::mem {
+
+namespace {
+
+// Register holding slot i's cell: a tuple (seq, value, embedded-scan).
+sim::ObjId cellReg(Env& env, const SnapshotHandle& h, int slot) {
+  ObjKey k = h.key;
+  k.append("#cell");
+  k.append(slot);
+  return env.reg(k);
+}
+
+std::int64_t cellSeq(const RegVal& cell) {
+  return cell.isBottom() ? 0 : cell.asTuple()[0].asInt();
+}
+
+RegVal cellValue(const RegVal& cell) {
+  return cell.isBottom() ? RegVal() : cell.asTuple()[1];
+}
+
+// One collect: read the m cell registers in index order (m atomic steps).
+Coro<std::vector<RegVal>> collect(Env& env, const SnapshotHandle& h) {
+  std::vector<RegVal> cells;
+  cells.reserve(static_cast<std::size_t>(h.slots));
+  for (int i = 0; i < h.slots; ++i) {
+    auto r = co_await env.read(cellReg(env, h, i));
+    cells.push_back(std::move(r.scalar));
+  }
+  co_return cells;
+}
+
+// Wait-free scan: repeat collects until either two successive collects are
+// identical (a clean double collect — the values were simultaneously
+// present) or some writer has been observed moving twice, in which case
+// its most recent cell embeds a scan taken entirely within our interval
+// and we return that ("borrowed" scan).
+Coro<std::vector<RegVal>> afekScan(Env& env, const SnapshotHandle& h) {
+  std::vector<int> moved(static_cast<std::size_t>(h.slots), 0);
+  std::vector<RegVal> prev = co_await collect(env, h);
+  for (;;) {
+    std::vector<RegVal> cur = co_await collect(env, h);
+    bool clean = true;
+    for (int i = 0; i < h.slots; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      if (cellSeq(prev[idx]) != cellSeq(cur[idx])) {
+        clean = false;
+        if (moved[idx] >= 1) {
+          // Second observed move of writer i: borrow its embedded scan.
+          const auto& embedded = cur[idx].asTuple()[2].asTuple();
+          co_return std::vector<RegVal>(embedded.begin(), embedded.end());
+        }
+        moved[idx] = 1;
+      }
+    }
+    if (clean) {
+      std::vector<RegVal> out;
+      out.reserve(static_cast<std::size_t>(h.slots));
+      for (const auto& c : cur) out.push_back(cellValue(c));
+      co_return out;
+    }
+    prev = std::move(cur);
+  }
+}
+
+// Wait-free update: embed a fresh scan so that concurrent scanners can
+// borrow it, then publish (seq+1, v, scan) in one register write.
+// (RegVal by const&: coroutine parameters must be trivially copyable or
+// references; see the ObjKey comment in sim/object_table.h.)
+Coro<Unit> afekUpdate(Env& env, const SnapshotHandle& h, int slot,
+                      const RegVal& v) {
+  std::vector<RegVal> view = co_await afekScan(env, h);
+  // The slot is single-writer, so re-reading our own cell for the sequence
+  // number is race-free.
+  auto own = co_await env.read(cellReg(env, h, slot));
+  const std::int64_t seq = cellSeq(own.scalar) + 1;
+  // Built element-by-element: GCC mis-handles braced-init-list temporaries
+  // inside coroutine frames.
+  std::vector<RegVal> cell;
+  cell.emplace_back(seq);
+  cell.push_back(v);
+  cell.push_back(RegVal::tuple(std::move(view)));
+  co_await env.write(cellReg(env, h, slot), RegVal::tuple(std::move(cell)));
+  co_return Unit{};
+}
+
+}  // namespace
+
+SnapshotHandle makeSnapshot(Env& env, ObjKey key, int slots) {
+  return SnapshotHandle{std::move(key), slots, env.snapshotFlavor()};
+}
+
+SnapshotHandle makeSnapshot(ObjKey key, int slots, SnapshotFlavor flavor) {
+  return SnapshotHandle{std::move(key), slots, flavor};
+}
+
+Coro<Unit> snapshotUpdate(Env& env, const SnapshotHandle& h, int slot,
+                          const RegVal& v) {
+  assert(slot >= 0 && slot < h.slots);
+  if (h.flavor == SnapshotFlavor::kAfek) {
+    co_return co_await afekUpdate(env, h, slot, v);
+  }
+  co_await env.snapUpdate(env.snap(h.key, h.slots), slot, v);
+  co_return Unit{};
+}
+
+Coro<std::vector<RegVal>> snapshotScan(Env& env, const SnapshotHandle& h) {
+  if (h.flavor == SnapshotFlavor::kAfek) {
+    co_return co_await afekScan(env, h);
+  }
+  auto r = co_await env.snapScan(env.snap(h.key, h.slots));
+  co_return std::move(r.snapshot);
+}
+
+int nonBottomCount(const std::vector<RegVal>& slots) {
+  int c = 0;
+  for (const auto& v : slots) {
+    if (!v.isBottom()) ++c;
+  }
+  return c;
+}
+
+std::vector<Value> distinctValues(const std::vector<RegVal>& slots) {
+  std::set<Value> s;
+  for (const auto& v : slots) {
+    if (v.isInt()) s.insert(v.asInt());
+  }
+  return {s.begin(), s.end()};
+}
+
+Value minValue(const std::vector<RegVal>& slots) {
+  Value best = kBottomValue;
+  for (const auto& v : slots) {
+    if (v.isInt() && (best == kBottomValue || v.asInt() < best)) {
+      best = v.asInt();
+    }
+  }
+  return best;
+}
+
+}  // namespace wfd::mem

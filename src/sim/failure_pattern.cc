@@ -1,0 +1,65 @@
+#include "sim/failure_pattern.h"
+
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace wfd::sim {
+
+FailurePattern FailurePattern::failureFree(int n_plus_1) {
+  assert(n_plus_1 >= 1 && n_plus_1 <= kMaxProcs);
+  return FailurePattern(
+      std::vector<Time>(static_cast<std::size_t>(n_plus_1), kNeverCrashes));
+}
+
+FailurePattern FailurePattern::withCrashes(
+    int n_plus_1, const std::vector<std::pair<Pid, Time>>& crashes) {
+  std::vector<Time> at(static_cast<std::size_t>(n_plus_1), kNeverCrashes);
+  for (const auto& [p, t] : crashes) {
+    assert(p >= 0 && p < n_plus_1);
+    at[static_cast<std::size_t>(p)] = t;
+  }
+  FailurePattern fp(std::move(at));
+  assert(!fp.correct().empty() && "at least one process must be correct");
+  return fp;
+}
+
+FailurePattern FailurePattern::random(int n_plus_1, int f, Time horizon,
+                                      std::uint64_t seed) {
+  assert(f >= 0 && f < n_plus_1);
+  Rng rng(seed);
+  std::vector<Time> at(static_cast<std::size_t>(n_plus_1), kNeverCrashes);
+  const int n_faulty = static_cast<int>(rng.below(static_cast<std::uint64_t>(f) + 1));
+  // Choose n_faulty distinct victims.
+  int chosen = 0;
+  while (chosen < n_faulty) {
+    const Pid p = static_cast<Pid>(rng.below(static_cast<std::uint64_t>(n_plus_1)));
+    if (at[static_cast<std::size_t>(p)] == kNeverCrashes) {
+      at[static_cast<std::size_t>(p)] = rng.range(0, horizon);
+      ++chosen;
+    }
+  }
+  return FailurePattern(std::move(at));
+}
+
+ProcSet FailurePattern::crashedBy(Time t) const {
+  ProcSet s;
+  for (Pid p = 0; p < nProcs(); ++p) {
+    if (crash_at_[static_cast<std::size_t>(p)] <= t) s.insert(p);
+  }
+  return s;
+}
+
+ProcSet FailurePattern::correct() const {
+  ProcSet s;
+  for (Pid p = 0; p < nProcs(); ++p) {
+    if (isCorrect(p)) s.insert(p);
+  }
+  return s;
+}
+
+ProcSet FailurePattern::faulty() const {
+  return correct().complement(nProcs());
+}
+
+}  // namespace wfd::sim

@@ -1,0 +1,65 @@
+// Failure patterns (paper Sect. 3.2).
+//
+// A failure pattern F maps time to the set of processes crashed by that
+// time; crashes are permanent. We represent F by one crash time per
+// process (kNeverCrashes for correct processes), which can express every
+// pattern the paper quantifies over. The environment E_f is the set of
+// patterns with |faulty(F)| <= f and at least one correct process.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/proc_set.h"
+#include "common/types.h"
+
+namespace wfd::sim {
+
+using wfd::Pid;
+using wfd::ProcSet;
+using wfd::Time;
+
+inline constexpr Time kNeverCrashes = INT64_MAX;
+
+class FailurePattern {
+ public:
+  // All n+1 processes correct.
+  static FailurePattern failureFree(int n_plus_1);
+
+  // `crashed` crash at the given per-process times (same order as
+  // crashed.members()); everyone else is correct.
+  static FailurePattern withCrashes(int n_plus_1,
+                                    const std::vector<std::pair<Pid, Time>>& crashes);
+
+  // Uniformly random pattern with at most f faulty processes and at least
+  // one correct one; crash times drawn from [0, horizon].
+  static FailurePattern random(int n_plus_1, int f, Time horizon,
+                               std::uint64_t seed);
+
+  [[nodiscard]] int nProcs() const { return static_cast<int>(crash_at_.size()); }
+
+  // F(t): set of processes crashed by time t.
+  [[nodiscard]] ProcSet crashedBy(Time t) const;
+
+  [[nodiscard]] bool isCorrect(Pid p) const {
+    return crash_at_[static_cast<std::size_t>(p)] == kNeverCrashes;
+  }
+  [[nodiscard]] Time crashTime(Pid p) const {
+    return crash_at_[static_cast<std::size_t>(p)];
+  }
+
+  [[nodiscard]] ProcSet correct() const;
+  [[nodiscard]] ProcSet faulty() const;
+
+  // Membership in the environment E_f.
+  [[nodiscard]] bool inEnvironment(int f) const {
+    return faulty().size() <= f && !correct().empty();
+  }
+
+ private:
+  explicit FailurePattern(std::vector<Time> crash_at)
+      : crash_at_(std::move(crash_at)) {}
+  std::vector<Time> crash_at_;
+};
+
+}  // namespace wfd::sim

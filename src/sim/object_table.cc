@@ -1,0 +1,119 @@
+#include "sim/object_table.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace wfd::sim {
+
+void ObjKey::append(const char* s) {
+  const std::size_t used = std::strlen(tag.data());
+  const std::size_t add = std::strlen(s);
+  assert(used + add < kTagCap && "ObjKey tag overflow");
+  std::memcpy(tag.data() + used, s, add + 1);
+}
+
+void ObjKey::append(int n) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%d", n);
+  append(buf);
+}
+
+std::string ObjKey::toString() const {
+  std::string s = tag.data();
+  for (int i : {i0, i1, i2, i3}) {
+    if (i >= 0) s += "[" + std::to_string(i) + "]";
+  }
+  return s;
+}
+
+ObjId ObjectTable::regId(const ObjKey& key) {
+  auto it = ids_.find(key);
+  if (it != ids_.end()) {
+    assert(objects_[static_cast<std::size_t>(it->second)].kind ==
+               Kind::kRegister &&
+           "object kind mismatch: register requested");
+    return it->second;
+  }
+  const ObjId id = static_cast<ObjId>(objects_.size());
+  objects_.push_back(Object{});
+  ids_.emplace(key, id);
+  return id;
+}
+
+ObjId ObjectTable::snapId(const ObjKey& key, int slots) {
+  assert(slots > 0);
+  auto it = ids_.find(key);
+  if (it != ids_.end()) {
+    const auto& obj = objects_[static_cast<std::size_t>(it->second)];
+    assert(obj.kind == Kind::kSnapshot &&
+           "object kind mismatch: snapshot requested");
+    assert(static_cast<int>(obj.slots.size()) == slots &&
+           "snapshot size mismatch across processes");
+    return it->second;
+  }
+  const ObjId id = static_cast<ObjId>(objects_.size());
+  Object obj;
+  obj.kind = Kind::kSnapshot;
+  obj.slots.resize(static_cast<std::size_t>(slots));
+  objects_.push_back(std::move(obj));
+  ids_.emplace(key, id);
+  return id;
+}
+
+ObjId ObjectTable::consId(const ObjKey& key, int ports) {
+  assert(ports > 0);
+  auto it = ids_.find(key);
+  if (it != ids_.end()) {
+    const auto& obj = objects_[static_cast<std::size_t>(it->second)];
+    assert(obj.kind == Kind::kConsensus &&
+           "object kind mismatch: consensus requested");
+    assert(obj.ports == ports && "consensus port limit mismatch");
+    return it->second;
+  }
+  const ObjId id = static_cast<ObjId>(objects_.size());
+  Object obj;
+  obj.kind = Kind::kConsensus;
+  obj.ports = ports;
+  objects_.push_back(std::move(obj));
+  ids_.emplace(key, id);
+  return id;
+}
+
+const RegVal& ObjectTable::read(ObjId id) const {
+  const auto& obj = objects_.at(static_cast<std::size_t>(id));
+  assert(obj.kind == Kind::kRegister);
+  return obj.reg;
+}
+
+void ObjectTable::write(ObjId id, RegVal v) {
+  auto& obj = objects_.at(static_cast<std::size_t>(id));
+  assert(obj.kind == Kind::kRegister);
+  obj.reg = std::move(v);
+}
+
+const std::vector<RegVal>& ObjectTable::scan(ObjId id) const {
+  const auto& obj = objects_.at(static_cast<std::size_t>(id));
+  assert(obj.kind == Kind::kSnapshot);
+  return obj.slots;
+}
+
+void ObjectTable::update(ObjId id, int slot, RegVal v) {
+  auto& obj = objects_.at(static_cast<std::size_t>(id));
+  assert(obj.kind == Kind::kSnapshot);
+  obj.slots.at(static_cast<std::size_t>(slot)) = std::move(v);
+}
+
+RegVal ObjectTable::propose(ObjId id, Pid proposer, RegVal v) {
+  auto& obj = objects_.at(static_cast<std::size_t>(id));
+  assert(obj.kind == Kind::kConsensus);
+  if (!obj.proposers.contains(proposer)) {
+    obj.proposers.insert(proposer);
+    assert(obj.proposers.size() <= obj.ports &&
+           "consensus object port limit exceeded: an m-process consensus "
+           "object accepts at most m distinct proposers");
+  }
+  if (obj.reg.isBottom()) obj.reg = std::move(v);  // first proposal wins
+  return obj.reg;
+}
+
+}  // namespace wfd::sim

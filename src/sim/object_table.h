@@ -1,0 +1,91 @@
+// The shared-memory object table of a simulated world.
+//
+// Objects are addressed by structured keys so that algorithms with
+// unbounded round structure (the paper's D[r], Stable[r], converge[r][k],
+// A[r][k], ...) can materialize objects lazily and deterministically: the
+// first reference under a key creates the object with ⊥-initialized
+// contents. Key resolution is a local (zero-step) action — what costs a
+// step is *operating* on the object, never naming it.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/reg_val.h"
+#include "common/types.h"
+
+namespace wfd::sim {
+
+// A structured object name: a tag plus up to four integer indices.
+// Example: {"conv.A", r, k} names the first snapshot object of the
+// k-converge instance used in round r, sub-round k.
+//
+// Deliberately TRIVIALLY COPYABLE (fixed-width tag buffer, no heap):
+// ObjKeys are passed by value into coroutines, and GCC 12's coroutine
+// lowering bitwise-copies class-type temporary arguments of an awaited
+// coroutine call into the callee frame (double-destroying non-trivial
+// members). For a trivially copyable type the bitwise copy is correct by
+// definition, so the whole bug class is structurally excluded.
+struct ObjKey {
+  static constexpr std::size_t kTagCap = 32;  // incl. NUL
+
+  std::array<char, kTagCap> tag{};
+  int i0 = -1;
+  int i1 = -1;
+  int i2 = -1;
+  int i3 = -1;
+
+  ObjKey() = default;
+  explicit ObjKey(const char* t, int a = -1, int b = -1, int c = -1,
+                  int d = -1)
+      : i0(a), i1(b), i2(c), i3(d) {
+    append(t);
+  }
+
+  // Extend the tag in place (sub-object naming, e.g. ".A", "#cell7").
+  void append(const char* s);
+  void append(int n);
+
+  auto operator<=>(const ObjKey&) const = default;
+  [[nodiscard]] std::string toString() const;
+};
+static_assert(std::is_trivially_copyable_v<ObjKey>);
+
+class ObjectTable {
+ public:
+  // Resolve-or-create. Registers start at ⊥; snapshot objects start with
+  // `slots` ⊥ cells; consensus objects start undecided with a port limit
+  // of `ports` distinct proposers. Requesting an existing key with a
+  // mismatched kind or size is a protocol bug and asserts.
+  ObjId regId(const ObjKey& key);
+  ObjId snapId(const ObjKey& key, int slots);
+  ObjId consId(const ObjKey& key, int ports);
+
+  [[nodiscard]] const RegVal& read(ObjId id) const;
+  void write(ObjId id, RegVal v);
+
+  [[nodiscard]] const std::vector<RegVal>& scan(ObjId id) const;
+  void update(ObjId id, int slot, RegVal v);
+
+  // First proposal wins; returns the winner. Asserts the port limit.
+  RegVal propose(ObjId id, Pid proposer, RegVal v);
+
+  [[nodiscard]] std::size_t objectCount() const { return objects_.size(); }
+
+ private:
+  enum class Kind { kRegister, kSnapshot, kConsensus };
+  struct Object {
+    Kind kind = Kind::kRegister;
+    RegVal reg;                    // register value / consensus winner
+    std::vector<RegVal> slots;     // snapshot cells
+    ProcSet proposers;             // consensus: who proposed so far
+    int ports = 0;                 // consensus: max distinct proposers
+  };
+  std::map<ObjKey, ObjId> ids_;
+  std::vector<Object> objects_;
+};
+
+}  // namespace wfd::sim

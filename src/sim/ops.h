@@ -1,0 +1,57 @@
+// Atomic operations a process can perform in one step.
+//
+// Matches the paper's step definition (Sect. 3.3): in each step a process
+// either invokes one operation on one shared object, or queries its
+// failure detector module. OpNoop models a pure local step (used by
+// reductions that must "take a step" without touching memory).
+#pragma once
+
+#include <variant>
+#include <vector>
+
+#include "common/reg_val.h"
+#include "common/types.h"
+
+namespace wfd::sim {
+
+using wfd::ObjId;
+using wfd::Pid;
+using wfd::RegVal;
+using wfd::Time;
+
+struct OpRead {
+  ObjId obj;
+};
+struct OpWrite {
+  ObjId obj;
+  RegVal val;
+};
+struct OpSnapUpdate {
+  ObjId obj;
+  int slot;
+  RegVal val;
+};
+struct OpSnapScan {
+  ObjId obj;
+};
+struct OpFdQuery {};
+struct OpNoop {};
+// One-shot consensus base object: the first proposal wins; every
+// propose() returns the winner. The object enforces its port limit (an
+// m-process consensus object accepts proposals from at most m distinct
+// processes) — the resource the boosting question of Corollary 4 is
+// about.
+struct OpConsPropose {
+  ObjId obj;
+  RegVal val;
+};
+
+using Op = std::variant<OpRead, OpWrite, OpSnapUpdate, OpSnapScan, OpFdQuery,
+                        OpNoop, OpConsPropose>;
+
+struct OpResult {
+  RegVal scalar;                  // read result / FD output
+  std::vector<RegVal> snapshot;   // scan result
+};
+
+}  // namespace wfd::sim

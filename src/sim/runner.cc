@@ -1,0 +1,57 @@
+#include "sim/runner.h"
+
+#include <cassert>
+#include <set>
+
+namespace wfd::sim {
+
+int RunResult::distinctDecisions() const {
+  std::set<Value> vals;
+  for (const auto& [p, v] : decisions) vals.insert(v);
+  return static_cast<int>(vals.size());
+}
+
+Run::Run(const RunConfig& cfg, const AlgoFn& algo,
+         const std::vector<Value>& proposals) {
+  assert(static_cast<int>(proposals.size()) == cfg.n_plus_1);
+  FailurePattern fp =
+      cfg.fp.has_value() ? *cfg.fp : FailurePattern::failureFree(cfg.n_plus_1);
+  assert(fp.nProcs() == cfg.n_plus_1);
+  world_ = std::make_unique<World>(cfg.n_plus_1, std::move(fp), cfg.fd,
+                                   cfg.flavor);
+  sched_ = std::make_unique<Scheduler>(world_.get(), cfg.seed ^ 0x5EED);
+  for (Pid p = 0; p < cfg.n_plus_1; ++p) {
+    envs_.emplace_back(world_.get(), p);
+    sched_->add(p, algo(envs_.back(), proposals[static_cast<std::size_t>(p)]));
+  }
+}
+
+RunResult Run::finish(Time steps_taken) {
+  RunResult res;
+  res.steps = steps_taken;
+  res.all_correct_done = sched_->allCorrectDone();
+  for (const auto& e : world_->trace().ofKind(EventKind::kDecide)) {
+    res.decisions[e.pid] = e.value.asInt();
+  }
+  // Destroy coroutine frames (which reference envs_ and world_) before the
+  // world is handed out.
+  sched_.reset();
+  envs_.clear();
+  res.world = std::move(world_);
+  return res;
+}
+
+RunResult runTask(const RunConfig& cfg, const AlgoFn& algo,
+                  const std::vector<Value>& proposals) {
+  Run run(cfg, algo, proposals);
+  std::unique_ptr<SchedulePolicy> policy;
+  if (cfg.policy == PolicyKind::kRoundRobin) {
+    policy = std::make_unique<RoundRobinPolicy>();
+  } else {
+    policy = std::make_unique<RandomPolicy>();
+  }
+  const Time taken = run.scheduler().run(*policy, cfg.max_steps);
+  return run.finish(taken);
+}
+
+}  // namespace wfd::sim

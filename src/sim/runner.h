@@ -1,0 +1,69 @@
+// Runner: one-call construction and execution of a run.
+//
+// Bundles world + per-process Env storage + scheduler with the right
+// lifetimes (coroutine frames hold Env&, so envs must outlive the
+// scheduler's coroutines), and harvests decisions from the trace.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace wfd::sim {
+
+enum class PolicyKind { kRandom, kRoundRobin };
+
+struct RunConfig {
+  int n_plus_1 = 3;
+  std::optional<FailurePattern> fp;  // default: failure-free
+  fd::FdPtr fd;                      // may be null for FD-free algorithms
+  std::uint64_t seed = 1;
+  Time max_steps = 2'000'000;
+  SnapshotFlavor flavor = SnapshotFlavor::kNative;
+  PolicyKind policy = PolicyKind::kRandom;
+};
+
+// A process automaton: given its Env and its input value, run forever or
+// to completion. Algorithms that take no input ignore the Value.
+using AlgoFn = std::function<Coro<Unit>(Env&, Value)>;
+
+struct RunResult {
+  bool all_correct_done = false;
+  Time steps = 0;
+  std::map<Pid, Value> decisions;     // kDecide events, last per process
+  std::unique_ptr<World> world;       // retains trace + final memory state
+
+  [[nodiscard]] const Trace& trace() const { return world->trace(); }
+
+  // Distinct decided values (the k of k-set-agreement actually achieved).
+  [[nodiscard]] int distinctDecisions() const;
+};
+
+// Owns everything a run needs; useful directly when a test wants to drive
+// the schedule step-by-step instead of via RunConfig's policy.
+class Run {
+ public:
+  Run(const RunConfig& cfg, const AlgoFn& algo,
+      const std::vector<Value>& proposals);
+
+  World& world() { return *world_; }
+  Scheduler& scheduler() { return *sched_; }
+
+  RunResult finish(Time steps_taken);
+
+ private:
+  std::unique_ptr<World> world_;
+  std::deque<Env> envs_;
+  std::unique_ptr<Scheduler> sched_;
+};
+
+// Run `algo` at every process with the given proposals under cfg.policy.
+RunResult runTask(const RunConfig& cfg, const AlgoFn& algo,
+                  const std::vector<Value>& proposals);
+
+}  // namespace wfd::sim

@@ -1,0 +1,145 @@
+#include "sim/scheduler.h"
+
+#include <cassert>
+
+namespace wfd::sim {
+
+ProcCtx*& currentProc() {
+  thread_local ProcCtx* cur = nullptr;
+  return cur;
+}
+
+Pid RandomPolicy::next(const ProcSet& runnable, const World&, Rng& rng) {
+  const auto members = runnable.members();
+  return members[rng.below(members.size())];
+}
+
+Pid RoundRobinPolicy::next(const ProcSet& runnable, const World&, Rng&) {
+  // Smallest pid strictly greater than last_, wrapping around.
+  const auto members = runnable.members();
+  for (Pid p : members) {
+    if (p > last_) {
+      last_ = p;
+      return p;
+    }
+  }
+  last_ = members.front();
+  return last_;
+}
+
+Pid EventuallySynchronousPolicy::next(const ProcSet& runnable,
+                                      const World& world, Rng& rng) {
+  if (world.now() >= gst_) return rr_.next(runnable, world, rng);
+  // Chaotic phase: starve a rotating victim; run the rest at random.
+  const auto members = runnable.members();
+  if (members.size() == 1) return members.front();
+  const auto victim_idx = static_cast<std::size_t>(
+      (world.now() / starve_stretch_) % static_cast<Time>(members.size()));
+  std::size_t pick = rng.below(members.size() - 1);
+  if (pick >= victim_idx) ++pick;
+  return members[pick];
+}
+
+ScriptedPolicy::ScriptedPolicy(std::vector<Pid> script,
+                               std::unique_ptr<SchedulePolicy> fallback)
+    : script_(std::move(script)), fallback_(std::move(fallback)) {
+  assert(fallback_ != nullptr);
+}
+
+Pid ScriptedPolicy::next(const ProcSet& runnable, const World& world,
+                         Rng& rng) {
+  while (pos_ < script_.size()) {
+    const Pid p = script_[pos_++];
+    if (runnable.contains(p)) return p;
+  }
+  return fallback_->next(runnable, world, rng);
+}
+
+void Scheduler::add(Pid p, Coro<Unit> coro) {
+  if (static_cast<std::size_t>(p) >= slots_.size()) {
+    slots_.resize(static_cast<std::size_t>(p) + 1);
+  }
+  auto slot = std::make_unique<Slot>();
+  slot->ctx.pid = p;
+  slot->coro = std::move(coro);
+  slots_[static_cast<std::size_t>(p)] = std::move(slot);
+}
+
+ProcSet Scheduler::runnable() const {
+  ProcSet s;
+  const Time now = world_->now();
+  for (const auto& slot : slots_) {
+    if (!slot) continue;
+    const Pid p = slot->ctx.pid;
+    if (slot->ctx.done) continue;
+    if (world_->pattern().crashTime(p) <= now) continue;  // p in F(now)
+    s.insert(p);
+  }
+  return s;
+}
+
+bool Scheduler::allCorrectDone() const {
+  for (const auto& slot : slots_) {
+    if (!slot) continue;
+    if (world_->pattern().isCorrect(slot->ctx.pid) && !slot->ctx.done) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Scheduler::step(Pid p) {
+  auto& slot = *slots_.at(static_cast<std::size_t>(p));
+  assert(!slot.ctx.done);
+  assert(world_->pattern().crashTime(p) > world_->now());
+
+  currentProc() = &slot.ctx;
+  // Flat resume loop: run handles until the process requests its next
+  // atomic operation or its top-level coroutine completes. Child starts
+  // and completions update resume_point without nesting resume() calls.
+  const auto runUntilBlockedOrDone = [&slot] {
+    while (!slot.ctx.pending.has_value() && slot.ctx.resume_point) {
+      const std::coroutine_handle<> h = slot.ctx.resume_point;
+      h.resume();
+    }
+  };
+  if (!slot.started) {
+    // Fold the prologue (initial local computation up to the first
+    // operation request) into the first step, so that every step executes
+    // exactly one atomic operation — one candidate-loop iteration per
+    // scheduled step, matching the paper's step granularity.
+    slot.ctx.resume_point = slot.coro.handle();
+    slot.started = true;
+    runUntilBlockedOrDone();
+  }
+  if (slot.ctx.pending.has_value()) {
+    slot.ctx.result = world_->execute(p, *slot.ctx.pending);
+    slot.ctx.pending.reset();
+    runUntilBlockedOrDone();
+  }
+  currentProc() = nullptr;
+
+  ++slot.ctx.steps;
+  world_->advanceClock();
+
+  if (slot.coro.done()) {
+    slot.ctx.done = true;
+    slot.coro.rethrowIfFailed();
+  }
+}
+
+Time Scheduler::run(SchedulePolicy& policy, Time max_steps) {
+  Time taken = 0;
+  while (taken < max_steps) {
+    if (allCorrectDone()) break;
+    const ProcSet r = runnable();
+    if (r.empty()) break;  // every live process finished
+    const Pid p = policy.next(r, *world_, rng_);
+    assert(r.contains(p) && "policy chose a non-runnable process");
+    step(p);
+    ++taken;
+  }
+  return taken;
+}
+
+}  // namespace wfd::sim

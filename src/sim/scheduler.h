@@ -1,0 +1,124 @@
+// Scheduler: turns process coroutines + a scheduling policy + a failure
+// pattern into a run (paper Sect. 3.3).
+//
+// One call to step(p) is one atomic step of p: the scheduler executes p's
+// pending shared-object/FD operation against the world, then resumes p's
+// coroutine until it requests its next operation (or returns). The policy
+// chooses which runnable process steps next; adversarial policies (used
+// for the Theorem 1/5 separations) may inspect the whole world, which is
+// exactly the power the paper's adversary has.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/coro.h"
+#include "sim/env.h"
+#include "sim/world.h"
+
+namespace wfd::sim {
+
+class SchedulePolicy {
+ public:
+  virtual ~SchedulePolicy() = default;
+  // Choose one process among `runnable` (never empty).
+  virtual Pid next(const ProcSet& runnable, const World& world, Rng& rng) = 0;
+};
+
+// Uniformly random among runnable processes: fair with probability 1.
+class RandomPolicy : public SchedulePolicy {
+ public:
+  Pid next(const ProcSet& runnable, const World&, Rng& rng) override;
+};
+
+// Cyclic order; the canonical fair schedule.
+class RoundRobinPolicy : public SchedulePolicy {
+ public:
+  Pid next(const ProcSet& runnable, const World&, Rng& rng) override;
+
+ private:
+  Pid last_ = -1;
+};
+
+// Fixed prefix of pids (entries not runnable are skipped), then a fallback
+// policy. Used to steer runs into the proofs' constructed prefixes.
+class ScriptedPolicy : public SchedulePolicy {
+ public:
+  ScriptedPolicy(std::vector<Pid> script,
+                 std::unique_ptr<SchedulePolicy> fallback);
+  Pid next(const ProcSet& runnable, const World& world, Rng& rng) override;
+
+ private:
+  std::vector<Pid> script_;
+  std::size_t pos_ = 0;
+  std::unique_ptr<SchedulePolicy> fallback_;
+};
+
+// Partial synchrony (Dwork–Lynch–Stockmeyer, cited as [10] in the paper):
+// before an unknown global stabilization time the schedule is chaotic —
+// a rotating victim is starved for long stretches — and from GST on it is
+// round-robin, so relative speeds are bounded. The paper's introduction
+// motivates failure detectors as an abstraction of exactly this kind of
+// timing assumption; core/omega_impl.h implements Omega on top of it.
+class EventuallySynchronousPolicy : public SchedulePolicy {
+ public:
+  explicit EventuallySynchronousPolicy(Time gst, Time starve_stretch = 97)
+      : gst_(gst), starve_stretch_(starve_stretch) {}
+  Pid next(const ProcSet& runnable, const World& world, Rng& rng) override;
+
+ private:
+  Time gst_;
+  Time starve_stretch_;
+  RoundRobinPolicy rr_;
+};
+
+// Arbitrary adversary from a function.
+class FnPolicy : public SchedulePolicy {
+ public:
+  using Fn = std::function<Pid(const ProcSet&, const World&, Rng&)>;
+  explicit FnPolicy(Fn fn) : fn_(std::move(fn)) {}
+  Pid next(const ProcSet& runnable, const World& world, Rng& rng) override {
+    return fn_(runnable, world, rng);
+  }
+
+ private:
+  Fn fn_;
+};
+
+class Scheduler {
+ public:
+  Scheduler(World* world, std::uint64_t seed) : world_(world), rng_(seed) {}
+
+  // Register process p's automaton. Must be called once per pid before run.
+  void add(Pid p, Coro<Unit> coro);
+
+  // Processes allowed to take a step now: not finished, not crashed.
+  [[nodiscard]] ProcSet runnable() const;
+
+  [[nodiscard]] bool allCorrectDone() const;
+
+  // One atomic step of p. p must be runnable.
+  void step(Pid p);
+
+  // Run under `policy` until all correct processes finished or max_steps
+  // elapsed. Returns steps taken.
+  Time run(SchedulePolicy& policy, Time max_steps);
+
+  [[nodiscard]] const ProcCtx& ctx(Pid p) const {
+    return slots_.at(static_cast<std::size_t>(p))->ctx;
+  }
+
+ private:
+  struct Slot {
+    ProcCtx ctx;
+    Coro<Unit> coro;
+    bool started = false;
+  };
+  World* world_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+};
+
+}  // namespace wfd::sim

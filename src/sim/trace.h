@@ -1,0 +1,53 @@
+// Run traces (paper Sect. 3.4).
+//
+// A trace records the externally visible inputs/outputs of a run: task
+// decisions, published failure-detector-output emulations (the paper's
+// distributed variable "D-output"), plus free-form diagnostic events. The
+// correctness checkers in core/checkers.h consume traces, so algorithm
+// code never needs to be instrumented for a specific property.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/reg_val.h"
+#include "common/types.h"
+
+namespace wfd::sim {
+
+enum class EventKind {
+  kPropose,   // process accepted its input value
+  kDecide,    // process produced a decision output
+  kPublish,   // process updated its emulated-FD output variable
+  kNote,      // diagnostic (gladiator/citizen status, round changes, ...)
+};
+
+struct Event {
+  Time time = 0;
+  Pid pid = -1;
+  EventKind kind = EventKind::kNote;
+  std::string label;
+  RegVal value;
+};
+
+class Trace {
+ public:
+  void record(Time t, Pid p, EventKind k, std::string label, RegVal v) {
+    events_.push_back(Event{t, p, k, std::move(label), std::move(v)});
+  }
+
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+
+  // All events of one kind, in time order (trace order == time order).
+  [[nodiscard]] std::vector<Event> ofKind(EventKind k) const;
+
+  // Last kPublish value per process at or before time t (⊥ if none).
+  [[nodiscard]] std::vector<RegVal> publishedAt(Time t, int n_plus_1) const;
+
+  [[nodiscard]] std::string toString() const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace wfd::sim

@@ -1,0 +1,33 @@
+#include "sim/world.h"
+
+#include <cassert>
+
+namespace wfd::sim {
+
+OpResult World::execute(Pid p, const Op& op) {
+  OpResult res;
+  if (const auto* r = std::get_if<OpRead>(&op)) {
+    res.scalar = objects_.read(r->obj);
+  } else if (const auto* w = std::get_if<OpWrite>(&op)) {
+    objects_.write(w->obj, w->val);
+  } else if (const auto* u = std::get_if<OpSnapUpdate>(&op)) {
+    objects_.update(u->obj, u->slot, u->val);
+  } else if (const auto* s = std::get_if<OpSnapScan>(&op)) {
+    res.snapshot = objects_.scan(s->obj);
+  } else if (std::holds_alternative<OpFdQuery>(op)) {
+    assert(fd_ != nullptr && "algorithm queried FD but none installed");
+    res.scalar = RegVal(fd_->query(p, now_));
+  } else if (const auto* c = std::get_if<OpConsPropose>(&op)) {
+    res.scalar = objects_.propose(c->obj, p, c->val);
+  } else {
+    assert(std::holds_alternative<OpNoop>(op));
+  }
+  return res;
+}
+
+void World::setPublished(Pid p, RegVal v) {
+  published_.at(static_cast<std::size_t>(p)) = v;
+  trace_.record(now_, p, EventKind::kPublish, "", std::move(v));
+}
+
+}  // namespace wfd::sim

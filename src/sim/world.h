@@ -1,0 +1,70 @@
+// World: the shared state of one simulated run.
+//
+// Owns the object table, the failure detector history, the failure
+// pattern, the global step clock and the trace. The scheduler executes
+// atomic operations against the world; algorithm coroutines reach it only
+// through the per-process Env facade.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "fd/failure_detector.h"
+#include "sim/failure_pattern.h"
+#include "sim/object_table.h"
+#include "sim/ops.h"
+#include "sim/trace.h"
+
+namespace wfd::sim {
+
+// Which atomic-snapshot implementation Env::snapshot handles use.
+enum class SnapshotFlavor {
+  kNative,  // one atomic step per update/scan (snapshot as a base object)
+  kAfek,    // Afek et al. wait-free construction from registers
+};
+
+class World {
+ public:
+  World(int n_plus_1, FailurePattern fp, fd::FdPtr fd,
+        SnapshotFlavor flavor = SnapshotFlavor::kNative)
+      : n_plus_1_(n_plus_1),
+        fp_(std::move(fp)),
+        fd_(std::move(fd)),
+        flavor_(flavor) {}
+
+  [[nodiscard]] int nProcs() const { return n_plus_1_; }
+  [[nodiscard]] const FailurePattern& pattern() const { return fp_; }
+  [[nodiscard]] const fd::FailureDetector* fd() const { return fd_.get(); }
+  [[nodiscard]] SnapshotFlavor snapshotFlavor() const { return flavor_; }
+
+  [[nodiscard]] Time now() const { return now_; }
+  void advanceClock() { ++now_; }
+
+  ObjectTable& objects() { return objects_; }
+  Trace& trace() { return trace_; }
+  [[nodiscard]] const Trace& trace() const { return trace_; }
+
+  // Execute one atomic step's operation on behalf of process p.
+  OpResult execute(Pid p, const Op& op);
+
+  // Emulated-FD outputs (the paper's distributed variable D-output_i).
+  // Readable by scheduling policies (adversaries) and checkers at zero
+  // simulated cost; written via Env::publish.
+  [[nodiscard]] const RegVal& published(Pid p) const {
+    return published_.at(static_cast<std::size_t>(p));
+  }
+  void setPublished(Pid p, RegVal v);
+
+ private:
+  int n_plus_1_;
+  FailurePattern fp_;
+  fd::FdPtr fd_;
+  SnapshotFlavor flavor_;
+  Time now_ = 0;
+  ObjectTable objects_;
+  Trace trace_;
+  std::vector<RegVal> published_ =
+      std::vector<RegVal>(static_cast<std::size_t>(n_plus_1_));
+};
+
+}  // namespace wfd::sim

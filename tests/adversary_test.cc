@@ -1,0 +1,92 @@
+// Theorem 1 (executable form): the proof's adversary defeats the natural
+// candidate Upsilon -> Omega_n extraction algorithms — either the output
+// never stabilizes (switch count grows with the horizon) or it freezes on
+// an illegal value exposed by a crash pattern. The easy direction
+// (Omega_n -> Upsilon) is in reductions_test.cc; together they witness
+// "Upsilon is strictly weaker than Omega_n".
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace wfd {
+namespace {
+
+using core::candidateComplementOrStatic;
+using core::candidateLowestHeartbeat;
+using core::crashExposure;
+using core::soloChase;
+using sim::Env;
+
+TEST(Theorem1, SoloChaseDefeatsLowestHeartbeat) {
+  const int n_plus_1 = 4;
+  const auto cand = [](Env& e, Value) { return candidateLowestHeartbeat(e); };
+  const auto s1 = soloChase(cand, n_plus_1, 40'000);
+  const auto s2 = soloChase(cand, n_plus_1, 160'000);
+  // The extracted output never stabilizes: forced switches keep
+  // accumulating as the run grows.
+  EXPECT_GE(s1.switches, 3);
+  EXPECT_GE(s2.switches, 2 * s1.switches);
+  // Forced instability persists to the end of the horizon.
+  EXPECT_GE(s2.last_switch_time, s2.steps * 7 / 10);
+}
+
+TEST(Theorem1, SwitchCountScalesLinearly) {
+  const int n_plus_1 = 3;
+  const auto cand = [](Env& e, Value) { return candidateLowestHeartbeat(e); };
+  int prev = 0;
+  for (Time horizon : {20'000L, 40'000L, 80'000L}) {
+    const auto s = soloChase(cand, n_plus_1, horizon);
+    EXPECT_GT(s.switches, prev);
+    prev = s.switches;
+  }
+}
+
+TEST(Theorem1, CrashExposureDefeatsStaticComplement) {
+  const int n_plus_1 = 4;
+  const auto cand = [](Env& e, Value) {
+    return candidateComplementOrStatic(e);
+  };
+  const auto s = crashExposure(cand, n_plus_1, 30'000);
+  // The candidate's output is stable — and illegal: it excludes the only
+  // correct process, so its claimed Omega_n set is entirely faulty.
+  ASSERT_TRUE(s.stable);
+  EXPECT_FALSE(s.legal);
+  EXPECT_EQ(s.stable_pc, ProcSet::singleton(n_plus_1 - 1));
+}
+
+TEST(Theorem1, ComplementCandidateIsFineFailureFree) {
+  // Sanity check of the demonstration's honesty: the static candidate is
+  // NOT defeated in failure-free runs (its frozen output is legal there).
+  // Theorem 1's quantifier is over all runs; the crash run above is the
+  // one that kills it.
+  const int n_plus_1 = 4;
+  const auto cand = [](Env& e, Value) {
+    return candidateComplementOrStatic(e);
+  };
+  const auto s = soloChase(cand, n_plus_1, 30'000);
+  EXPECT_EQ(s.switches, 0);
+  EXPECT_TRUE(s.final_agreement);
+}
+
+// Theorem 5's shape for f = n also covers the lowest-heartbeat candidate
+// at other system sizes.
+TEST(Theorem5, ChaseScalesToLargerSystems) {
+  for (int n_plus_1 : {3, 5, 6}) {
+    const auto cand = [](Env& e, Value) {
+      return candidateLowestHeartbeat(e);
+    };
+    const auto s = soloChase(cand, n_plus_1, 60'000);
+    EXPECT_GE(s.switches, 2) << "n+1=" << n_plus_1;
+  }
+}
+
+TEST(Theorem1, ChaseIsDeterministic) {
+  const auto cand = [](Env& e, Value) { return candidateLowestHeartbeat(e); };
+  const auto a = soloChase(cand, 4, 20'000, 4096, 7);
+  const auto b = soloChase(cand, 4, 20'000, 4096, 7);
+  EXPECT_EQ(a.switches, b.switches);
+  EXPECT_EQ(a.last_instability, b.last_instability);
+}
+
+}  // namespace
+}  // namespace wfd

@@ -1,0 +1,132 @@
+// Baseline protocols: Omega^k-based k-set agreement ([18]-style) and
+// Omega-based consensus. These are the comparators behind Corollaries 3-4
+// and the n+1 = 2 equivalence of Sect. 4.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace wfd {
+namespace {
+
+using core::checkKSetAgreement;
+using core::omegaConsensus;
+using core::omegaKSetAgreement;
+using sim::Env;
+using sim::FailurePattern;
+using sim::RunConfig;
+using sim::RunResult;
+
+RunResult runOmegaK(int n_plus_1, int k, const FailurePattern& fp,
+                    fd::FdPtr fd, std::uint64_t seed,
+                    const std::vector<Value>& props,
+                    sim::PolicyKind policy = sim::PolicyKind::kRandom) {
+  RunConfig cfg;
+  cfg.n_plus_1 = n_plus_1;
+  cfg.fp = fp;
+  cfg.fd = std::move(fd);
+  cfg.seed = seed;
+  cfg.policy = policy;
+  cfg.max_steps = 3'000'000;
+  return sim::runTask(
+      cfg, [k](Env& e, Value v) { return omegaKSetAgreement(e, k, v); },
+      props);
+}
+
+struct Params {
+  int n_plus_1;
+  int k;
+  Time stab_time;
+};
+
+class OmegaKSweep : public ::testing::TestWithParam<Params> {};
+
+TEST_P(OmegaKSweep, SolvesKSetAgreement) {
+  const auto [n_plus_1, k, stab] = GetParam();
+  const auto props = test::distinctProposals(n_plus_1);
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const auto fp = FailurePattern::random(n_plus_1, n_plus_1 - k, stab + 200,
+                                           seed * 17 + 3);
+    const auto rr = runOmegaK(n_plus_1, k, fp,
+                              fd::makeOmegaK(fp, k, stab, seed), seed, props);
+    const auto rep = checkKSetAgreement(rr, k, props);
+    EXPECT_TRUE(rep.ok()) << "seed " << seed << ": " << rep.violation;
+  }
+}
+
+TEST_P(OmegaKSweep, LockstepSchedule) {
+  const auto [n_plus_1, k, stab] = GetParam();
+  const auto props = test::distinctProposals(n_plus_1);
+  const auto fp = FailurePattern::failureFree(n_plus_1);
+  const auto rr = runOmegaK(n_plus_1, k, fp, fd::makeOmegaK(fp, k, stab, 5),
+                            7, props, sim::PolicyKind::kRoundRobin);
+  const auto rep = checkKSetAgreement(rr, k, props);
+  EXPECT_TRUE(rep.ok()) << rep.violation;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OmegaKSweep,
+                         ::testing::Values(Params{3, 1, 300},
+                                           Params{3, 2, 300},
+                                           Params{4, 2, 400},
+                                           Params{4, 3, 500},
+                                           Params{5, 4, 600},
+                                           Params{6, 5, 600}),
+                         [](const auto& info) {
+                           const Params& p = info.param;
+                           return "n" + std::to_string(p.n_plus_1) + "_k" +
+                                  std::to_string(p.k) + "_stab" +
+                                  std::to_string(p.stab_time);
+                         });
+
+TEST(OmegaConsensus, AgreesOnOneValue) {
+  const int n_plus_1 = 4;
+  const auto props = test::distinctProposals(n_plus_1);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto fp = FailurePattern::random(n_plus_1, n_plus_1 - 1, 500,
+                                           seed * 23);
+    const auto rr = runOmegaK(n_plus_1, 1, fp, fd::makeOmega(fp, 300, seed),
+                              seed, props);
+    const auto rep = checkKSetAgreement(rr, 1, props);
+    EXPECT_TRUE(rep.ok()) << "seed " << seed << ": " << rep.violation;
+    EXPECT_EQ(rep.distinct, 1);
+  }
+}
+
+TEST(OmegaConsensus, WrapperForwardsToK1) {
+  const int n_plus_1 = 3;
+  const auto props = test::distinctProposals(n_plus_1);
+  const auto fp = FailurePattern::failureFree(n_plus_1);
+  RunConfig cfg;
+  cfg.n_plus_1 = n_plus_1;
+  cfg.fp = fp;
+  cfg.fd = fd::makeOmega(fp, 100, 1);
+  const auto rr = sim::runTask(
+      cfg, [](Env& e, Value v) { return omegaConsensus(e, v); }, props);
+  const auto rep = checkKSetAgreement(rr, 1, props);
+  EXPECT_TRUE(rep.ok()) << rep.violation;
+}
+
+// Corollary 4's executable shape, positive half: Upsilon (via Fig. 1) and
+// Omega_n (via the baseline) both solve n-set agreement with registers.
+TEST(Corollary4, BothDetectorsSolveSetAgreement) {
+  const int n_plus_1 = 4;
+  const int n = n_plus_1 - 1;
+  const auto props = test::distinctProposals(n_plus_1);
+  const auto fp = FailurePattern::failureFree(n_plus_1);
+  // Omega_n baseline:
+  const auto rb = runOmegaK(n_plus_1, n, fp, fd::makeOmegaK(fp, n, 200, 2), 2,
+                            props);
+  EXPECT_TRUE(checkKSetAgreement(rb, n, props).ok());
+  // Upsilon (strictly weaker by Theorem 1) suffices as well:
+  RunConfig cfg;
+  cfg.n_plus_1 = n_plus_1;
+  cfg.fp = fp;
+  cfg.fd = fd::makeUpsilon(fp, 200, 2);
+  cfg.seed = 2;
+  const auto ru = sim::runTask(
+      cfg, [](Env& e, Value v) { return core::upsilonSetAgreement(e, v); },
+      props);
+  EXPECT_TRUE(checkKSetAgreement(ru, n, props).ok());
+}
+
+}  // namespace
+}  // namespace wfd

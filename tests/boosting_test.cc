@@ -1,0 +1,122 @@
+// Corollary 4 context: n+1-process consensus from n-process consensus
+// objects + registers + Omega_n, and the port discipline of consensus
+// base objects.
+#include <gtest/gtest.h>
+
+#include "core/boosting.h"
+#include "test_util.h"
+
+namespace wfd {
+namespace {
+
+using core::checkKSetAgreement;
+using core::consensusBoosting;
+using sim::Env;
+using sim::FailurePattern;
+using sim::RunConfig;
+using sim::RunResult;
+
+RunResult runBoosting(int n_plus_1, const FailurePattern& fp, fd::FdPtr fd,
+                      std::uint64_t seed, const std::vector<Value>& props,
+                      sim::PolicyKind policy = sim::PolicyKind::kRandom) {
+  RunConfig cfg;
+  cfg.n_plus_1 = n_plus_1;
+  cfg.fp = fp;
+  cfg.fd = std::move(fd);
+  cfg.seed = seed;
+  cfg.policy = policy;
+  cfg.max_steps = 3'000'000;
+  return sim::runTask(
+      cfg, [](Env& e, Value v) { return consensusBoosting(e, v); }, props);
+}
+
+class BoostingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoostingSweep, SolvesConsensusAcrossSeeds) {
+  const int n_plus_1 = GetParam();
+  const auto props = test::distinctProposals(n_plus_1);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto fp = FailurePattern::random(n_plus_1, n_plus_1 - 1, 500,
+                                           seed * 71 + 3);
+    const auto rr = runBoosting(n_plus_1, fp,
+                                fd::makeOmegaK(fp, n_plus_1 - 1, 400, seed),
+                                seed, props);
+    const auto rep = checkKSetAgreement(rr, 1, props);
+    EXPECT_TRUE(rep.ok()) << "seed " << seed << " correct "
+                          << fp.correct().toString() << ": " << rep.violation;
+    EXPECT_EQ(rep.distinct, 1);
+  }
+}
+
+TEST_P(BoostingSweep, LockstepSchedule) {
+  const int n_plus_1 = GetParam();
+  const auto props = test::distinctProposals(n_plus_1);
+  const auto fp = FailurePattern::failureFree(n_plus_1);
+  const auto rr = runBoosting(n_plus_1, fp,
+                              fd::makeOmegaK(fp, n_plus_1 - 1, 300, 7), 7,
+                              props, sim::PolicyKind::kRoundRobin);
+  const auto rep = checkKSetAgreement(rr, 1, props);
+  EXPECT_TRUE(rep.ok()) << rep.violation;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BoostingSweep, ::testing::Values(3, 4, 5, 6),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(Boosting, LateStabilizationStillDecides) {
+  const int n_plus_1 = 4;
+  const auto props = test::distinctProposals(n_plus_1);
+  const auto fp = FailurePattern::failureFree(n_plus_1);
+  const auto rr = runBoosting(n_plus_1, fp,
+                              fd::makeOmegaK(fp, 3, /*stab=*/5000, 2), 2,
+                              props);
+  const auto rep = checkKSetAgreement(rr, 1, props);
+  EXPECT_TRUE(rep.ok()) << rep.violation;
+}
+
+// ---- Consensus base objects ----
+
+TEST(ConsensusObject, FirstProposalWins) {
+  sim::ObjectTable tbl;
+  const auto c = tbl.consId(sim::ObjKey{"c"}, 2);
+  EXPECT_EQ(tbl.propose(c, 0, RegVal(Value{7})).asInt(), 7);
+  EXPECT_EQ(tbl.propose(c, 1, RegVal(Value{9})).asInt(), 7);
+  EXPECT_EQ(tbl.propose(c, 0, RegVal(Value{3})).asInt(), 7);
+}
+
+TEST(ConsensusObject, PortLimitEnforced) {
+  sim::ObjectTable tbl;
+  const auto c = tbl.consId(sim::ObjKey{"c"}, 2);
+  tbl.propose(c, 0, RegVal(Value{1}));
+  tbl.propose(c, 1, RegVal(Value{2}));
+  // A third distinct proposer on a 2-ported object is a contract
+  // violation — the resource Corollary 4's boosting question counts.
+  EXPECT_DEATH(tbl.propose(c, 2, RegVal(Value{3})), "port limit");
+}
+
+TEST(ConsensusObject, GroupConsensusAgreesUnderRandomSchedules) {
+  // n processes of a group hammer one object; everyone gets one winner
+  // and it is someone's proposal.
+  const int n_plus_1 = 4;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    RunConfig cfg;
+    cfg.n_plus_1 = n_plus_1;
+    cfg.seed = seed;
+    const auto props = test::distinctProposals(n_plus_1);
+    const auto rr = sim::runTask(
+        cfg,
+        [n_plus_1](Env& e, Value v) -> sim::Coro<sim::Unit> {
+          const auto c = e.cons(sim::ObjKey{"t.gc"}, n_plus_1);
+          const RegVal w = (co_await e.consPropose(c, RegVal(v))).scalar;
+          e.decide(w.asInt());
+          co_return sim::Unit{};
+        },
+        props);
+    const auto rep = checkKSetAgreement(rr, 1, props);
+    EXPECT_TRUE(rep.ok()) << rep.violation;
+  }
+}
+
+}  // namespace
+}  // namespace wfd

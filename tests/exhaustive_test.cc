@@ -1,0 +1,149 @@
+// Exhaustive schedule enumeration ("model checking in miniature").
+//
+// The paper's properties are universally quantified over schedules; the
+// other suites sample that space, this one exhausts it for small,
+// bounded protocols: every interleaving of the k-converge phases is
+// executed and checked. With the native snapshot flavor one invocation
+// is exactly 4 atomic steps per process, so all interleavings of
+// 2 processes (C(8,4) = 70) and 3 processes (8!... = 34650 multiset
+// permutations) are enumerable.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+#include "test_util.h"
+
+namespace wfd {
+namespace {
+
+using core::kConverge;
+using core::Pick;
+using sim::Coro;
+using sim::Env;
+using sim::RunConfig;
+using sim::Unit;
+
+Coro<Unit> oneShot(Env& env, int k, Value v) {
+  env.propose(v);
+  const Pick p = co_await kConverge(env, sim::ObjKey{"x.conv"}, k, v);
+  env.note(p.committed ? "commit" : "adopt", RegVal(p.value));
+  env.decide(p.value);
+  co_return Unit{};
+}
+
+// Enumerate all distinct permutations of the multiset with `per` copies
+// of each pid in [0, n), invoking fn on each.
+void forEachSchedule(int n, int per,
+                     const std::function<void(const std::vector<Pid>&)>& fn) {
+  std::vector<int> remaining(static_cast<std::size_t>(n), per);
+  std::vector<Pid> seq;
+  const std::function<void()> rec = [&] {
+    if (static_cast<int>(seq.size()) == n * per) {
+      fn(seq);
+      return;
+    }
+    for (Pid p = 0; p < n; ++p) {
+      if (remaining[static_cast<std::size_t>(p)] == 0) continue;
+      --remaining[static_cast<std::size_t>(p)];
+      seq.push_back(p);
+      rec();
+      seq.pop_back();
+      ++remaining[static_cast<std::size_t>(p)];
+    }
+  };
+  rec();
+}
+
+struct Outcome {
+  std::vector<Value> picked;      // per pid
+  std::vector<bool> committed;    // per pid
+};
+
+Outcome runSchedule(int n, int k, const std::vector<Pid>& seq,
+                    const std::vector<Value>& props) {
+  RunConfig cfg;
+  cfg.n_plus_1 = n;
+  sim::Run run(cfg, [k](Env& e, Value v) { return oneShot(e, k, v); }, props);
+  sim::ScriptedPolicy policy(seq, std::make_unique<sim::RoundRobinPolicy>());
+  const Time taken = run.scheduler().run(policy, 10'000);
+  const auto rr = run.finish(taken);
+  Outcome out;
+  out.picked.resize(static_cast<std::size_t>(n), kBottomValue);
+  out.committed.resize(static_cast<std::size_t>(n), false);
+  for (const auto& e : rr.trace().events()) {
+    if (e.kind == sim::EventKind::kNote) {
+      out.picked[static_cast<std::size_t>(e.pid)] = e.value.asInt();
+      out.committed[static_cast<std::size_t>(e.pid)] = (e.label == "commit");
+    }
+  }
+  EXPECT_TRUE(rr.all_correct_done);
+  return out;
+}
+
+// 1-converge with two processes is commit-adopt: check its contract in
+// every one of the 70 interleavings.
+TEST(Exhaustive, CommitAdoptTwoProcessesAllSchedules) {
+  int schedules = 0;
+  forEachSchedule(2, 4, [&](const std::vector<Pid>& seq) {
+    ++schedules;
+    const Outcome out = runSchedule(2, 1, seq, {100, 101});
+    for (int p = 0; p < 2; ++p) {
+      // C-Validity.
+      EXPECT_TRUE(out.picked[static_cast<std::size_t>(p)] == 100 ||
+                  out.picked[static_cast<std::size_t>(p)] == 101);
+    }
+    // C-Agreement for k = 1: any commit forces both picks equal.
+    if (out.committed[0] || out.committed[1]) {
+      EXPECT_EQ(out.picked[0], out.picked[1])
+          << "schedule #" << schedules;
+    }
+  });
+  EXPECT_EQ(schedules, 70);  // C(8,4)
+}
+
+// Same, but both processes propose the same value: Convergence demands a
+// commit from everyone, in every schedule.
+TEST(Exhaustive, CommitAdoptConvergenceAllSchedules) {
+  forEachSchedule(2, 4, [&](const std::vector<Pid>& seq) {
+    const Outcome out = runSchedule(2, 1, seq, {100, 100});
+    EXPECT_TRUE(out.committed[0]);
+    EXPECT_TRUE(out.committed[1]);
+    EXPECT_EQ(out.picked[0], 100);
+    EXPECT_EQ(out.picked[1], 100);
+  });
+}
+
+// 2-converge with three processes and three distinct values: all 34650
+// interleavings. If anyone commits, at most 2 distinct values are picked.
+TEST(Exhaustive, TwoConvergeThreeProcessesAllSchedules) {
+  int schedules = 0;
+  forEachSchedule(3, 4, [&](const std::vector<Pid>& seq) {
+    ++schedules;
+    const Outcome out = runSchedule(3, 2, seq, {100, 101, 102});
+    const bool any_commit =
+        out.committed[0] || out.committed[1] || out.committed[2];
+    if (any_commit) {
+      std::set<Value> vals(out.picked.begin(), out.picked.end());
+      EXPECT_LE(vals.size(), 2u) << "schedule #" << schedules;
+    }
+  });
+  EXPECT_EQ(schedules, 34650);  // 12! / (4!)^3
+}
+
+// 1-converge with three processes, two of which share a value: stronger
+// agreement pressure, same exhaustive sweep.
+TEST(Exhaustive, OneConvergeThreeProcessesAllSchedules) {
+  forEachSchedule(3, 4, [&](const std::vector<Pid>& seq) {
+    const Outcome out = runSchedule(3, 1, seq, {100, 100, 101});
+    const bool any_commit =
+        out.committed[0] || out.committed[1] || out.committed[2];
+    if (any_commit) {
+      std::set<Value> vals(out.picked.begin(), out.picked.end());
+      EXPECT_LE(vals.size(), 1u);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace wfd

@@ -1,0 +1,200 @@
+// Fig. 3 / Theorem 10: extracting Upsilon^f from any stable f-non-trivial
+// detector via phi_D. For every shipped (detector, phi) pair the emulated
+// output must stabilize on a legal Upsilon^f value; the phi maps' defining
+// property is unit-checked per detector.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace wfd {
+namespace {
+
+using core::checkEmulatedUpsilonF;
+using core::extractUpsilonF;
+using core::PhiPtr;
+using sim::Env;
+using sim::FailurePattern;
+using sim::RunConfig;
+using sim::RunResult;
+
+RunResult runExtraction(int n_plus_1, const FailurePattern& fp, fd::FdPtr d,
+                        PhiPtr phi, std::uint64_t seed, Time steps = 120'000) {
+  RunConfig cfg;
+  cfg.n_plus_1 = n_plus_1;
+  cfg.fp = fp;
+  cfg.fd = std::move(d);
+  cfg.seed = seed;
+  cfg.max_steps = steps;
+  return sim::runTask(
+      cfg, [phi](Env& e, Value) { return extractUpsilonF(e, phi); },
+      std::vector<Value>(static_cast<std::size_t>(n_plus_1), 0));
+}
+
+// ---- D = Omega (f = n): the CHT-style special case of Sect. 6 ----
+
+TEST(Extraction, FromOmega) {
+  const int n_plus_1 = 4;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const auto fp = FailurePattern::random(n_plus_1, n_plus_1 - 1, 40, seed);
+    const auto rr = runExtraction(n_plus_1, fp, fd::makeOmega(fp, 100, seed),
+                                  core::phiOmegaK(n_plus_1), seed);
+    const auto rep = checkEmulatedUpsilonF(rr, n_plus_1 - 1);
+    EXPECT_TRUE(rep.ok()) << "seed " << seed << " correct "
+                          << fp.correct().toString() << ": " << rep.violation;
+  }
+}
+
+// ---- D = Omega^f in E_f ----
+
+TEST(Extraction, FromOmegaFAcrossF) {
+  const int n_plus_1 = 5;
+  for (int f = 1; f <= 4; ++f) {
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      const auto fp = FailurePattern::random(n_plus_1, f, 40, seed * 9 + f);
+      const auto rr =
+          runExtraction(n_plus_1, fp, fd::makeOmegaK(fp, f, 90, seed),
+                        core::phiOmegaK(n_plus_1), seed);
+      const auto rep = checkEmulatedUpsilonF(rr, f);
+      EXPECT_TRUE(rep.ok()) << "f=" << f << " seed " << seed << ": "
+                            << rep.violation;
+    }
+  }
+}
+
+// ---- D = Upsilon itself: extraction must reproduce a legal output
+// (the identity sanity check — Upsilon is non-trivial by Theorem 2) ----
+
+TEST(Extraction, FromUpsilonIsIdentityLike) {
+  const int n_plus_1 = 4;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const auto fp = FailurePattern::failureFree(n_plus_1);
+    const auto d = fd::makeUpsilon(fp, 100, seed);
+    const auto rr = runExtraction(n_plus_1, fp, d, core::phiUpsilonSelf(),
+                                  seed);
+    const auto rep = checkEmulatedUpsilonF(rr, n_plus_1 - 1);
+    ASSERT_TRUE(rep.ok()) << rep.violation;
+    // phi maps d to itself, so the extracted stable value is exactly the
+    // source detector's stable set.
+    const auto* u = dynamic_cast<const fd::UpsilonFd*>(d.get());
+    ASSERT_NE(u, nullptr);
+    EXPECT_EQ(rep.stable_value, u->stableSet());
+  }
+}
+
+// ---- D = Upsilon^f across resiliences ----
+
+TEST(Extraction, FromUpsilonFAcrossF) {
+  const int n_plus_1 = 5;
+  for (int f = 1; f <= 4; ++f) {
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      const auto fp = FailurePattern::random(n_plus_1, f, 40, seed * 17 + f);
+      const auto d = fd::makeUpsilonF(fp, f, 120, seed);
+      const auto rr =
+          runExtraction(n_plus_1, fp, d, core::phiUpsilonSelf(), seed);
+      const auto rep = checkEmulatedUpsilonF(rr, f);
+      ASSERT_TRUE(rep.ok()) << "f=" << f << " seed " << seed << ": "
+                            << rep.violation;
+      // Identity again: the emulated stable output is the source's set.
+      const auto* u = dynamic_cast<const fd::UpsilonFd*>(d.get());
+      ASSERT_NE(u, nullptr);
+      EXPECT_EQ(rep.stable_value, u->stableSet());
+    }
+  }
+}
+
+// ---- D = stable anti-Omega ----
+
+TEST(Extraction, FromStableAntiOmega) {
+  const int n_plus_1 = 4;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const auto fp = FailurePattern::random(n_plus_1, n_plus_1 - 1, 30, seed);
+    const auto rr =
+        runExtraction(n_plus_1, fp, fd::makeAntiOmega(fp, 80, seed),
+                      core::phiAntiOmega(), seed);
+    const auto rep = checkEmulatedUpsilonF(rr, n_plus_1 - 1);
+    EXPECT_TRUE(rep.ok()) << rep.violation;
+  }
+}
+
+// ---- w > 0: Fig. 3's batch-observation machinery (line 15) ----
+
+TEST(Extraction, InflatedWStillExtractsFailureFree) {
+  const int n_plus_1 = 3;
+  for (int w : {1, 2, 5}) {
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      const auto fp = FailurePattern::failureFree(n_plus_1);
+      const auto rr = runExtraction(
+          n_plus_1, fp, fd::makeOmega(fp, 60, seed),
+          core::phiWithInflatedW(core::phiOmegaK(n_plus_1), w), seed);
+      const auto rep = checkEmulatedUpsilonF(rr, n_plus_1 - 1);
+      EXPECT_TRUE(rep.ok()) << "w=" << w << " seed " << seed << ": "
+                            << rep.violation;
+    }
+  }
+}
+
+TEST(Extraction, InflatedWBlocksAtPiWhenAProcessIsSilent) {
+  // With w > 0 and a crashed process, the batches of line 15 never
+  // complete, so the output stays Pi — which is legal exactly because
+  // someone is faulty (Theorem 10 proof, case (1)).
+  const int n_plus_1 = 3;
+  const auto fp = FailurePattern::withCrashes(n_plus_1, {{2, 10}});
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto rr = runExtraction(
+        n_plus_1, fp, fd::makeOmega(fp, 60, seed),
+        core::phiWithInflatedW(core::phiOmegaK(n_plus_1), 3), seed);
+    const auto rep = checkEmulatedUpsilonF(rr, n_plus_1 - 1);
+    ASSERT_TRUE(rep.ok()) << rep.violation;
+    EXPECT_EQ(rep.stable_value, ProcSet::full(n_plus_1));
+  }
+}
+
+// ---- The phi maps' defining property, checked against detector axioms:
+// a run where correct(F) = phi(d).correct_sigma and every correct process
+// forever observes d violates D's axioms (i.e. sigma is NOT a sample) ----
+
+TEST(PhiMaps, OmegaPhiDesignatesNonSample) {
+  const int n_plus_1 = 4;
+  const auto phi = core::phiOmegaK(n_plus_1);
+  for (std::uint64_t bits = 1; bits < (1u << n_plus_1); ++bits) {
+    const ProcSet d = ProcSet::fromBits(bits);
+    if (d.size() != 1) continue;  // Omega outputs singletons
+    const auto r = phi->map(d);
+    // In a run with correct(F) = r.correct_sigma, Omega must eventually
+    // output a member of correct(F); d contains none of them.
+    EXPECT_TRUE(d.intersect(r.correct_sigma).empty())
+        << "phi(" << d.toString() << ") = " << r.correct_sigma.toString();
+    EXPECT_GE(r.correct_sigma.size(), 1);
+  }
+}
+
+TEST(PhiMaps, UpsilonPhiDesignatesNonSample) {
+  const auto phi = core::phiUpsilonSelf();
+  for (std::uint64_t bits = 1; bits < (1u << 4); ++bits) {
+    const ProcSet d = ProcSet::fromBits(bits);
+    const auto r = phi->map(d);
+    // Upsilon never stabilizes on the correct set; phi designates
+    // correct(sigma) = d, making d the correct set of the hypothetical
+    // run — contradiction.
+    EXPECT_EQ(r.correct_sigma, d);
+    EXPECT_EQ(r.w, 0);
+  }
+}
+
+// ---- Stabilization time scales with the source detector's ----
+
+TEST(Extraction, StabilizesAfterSourceDetector) {
+  const int n_plus_1 = 3;
+  const auto fp = FailurePattern::failureFree(n_plus_1);
+  const Time stab = 2000;
+  const auto rr = runExtraction(n_plus_1, fp, fd::makeOmega(fp, stab, 1),
+                                core::phiOmegaK(n_plus_1), 1, 200'000);
+  const auto rep = checkEmulatedUpsilonF(rr, n_plus_1 - 1);
+  ASSERT_TRUE(rep.ok()) << rep.violation;
+  // The last output change cannot precede the source stabilizing (the
+  // candidate value keeps flapping before that).
+  EXPECT_GE(rep.last_change, stab / 2);
+}
+
+}  // namespace
+}  // namespace wfd

@@ -1,0 +1,147 @@
+// Adversarial schedules for Fig. 1: force the run past the easy
+// round-1-commit path and deep into the gladiator/citizen machinery, then
+// re-check Theorem 2's properties there.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace wfd {
+namespace {
+
+using core::checkKSetAgreement;
+using core::upsilonSetAgreement;
+using sim::Env;
+using sim::FailurePattern;
+using sim::PolicyKind;
+using sim::RunConfig;
+using sim::RunResult;
+
+RunResult runFig1(const RunConfig& cfg, const std::vector<Value>& props) {
+  return sim::runTask(
+      cfg, [](Env& e, Value v) { return upsilonSetAgreement(e, v); }, props);
+}
+
+int countNotes(const RunResult& rr, const std::string& label) {
+  int c = 0;
+  for (const auto& e : rr.trace().events()) {
+    if (e.kind == sim::EventKind::kNote && e.label == label) ++c;
+  }
+  return c;
+}
+
+// Lockstep round-robin + distinct proposals: everyone sees all n+1 values
+// in round 1, so the first n-converge cannot commit and the run must go
+// through Upsilon. The gladiator and citizen branches must both fire.
+TEST(Fig1Adversarial, LockstepForcesGladiatorsAndCitizens) {
+  const int n_plus_1 = 4;
+  const auto props = test::distinctProposals(n_plus_1);
+  const auto fp = FailurePattern::failureFree(n_plus_1);
+  RunConfig cfg;
+  cfg.n_plus_1 = n_plus_1;
+  cfg.fp = fp;
+  cfg.policy = PolicyKind::kRoundRobin;
+  cfg.fd = fd::makeUpsilon(fp, ProcSet{0, 1}, /*stab_time=*/0);
+  cfg.seed = 1;
+  const auto rr = runFig1(cfg, props);
+  const auto rep = checkKSetAgreement(rr, n_plus_1 - 1, props);
+  EXPECT_TRUE(rep.ok()) << rep.violation;
+  EXPECT_GT(countNotes(rr, "gladiator"), 0);
+  EXPECT_GT(countNotes(rr, "citizen"), 0);
+}
+
+// Slow-flapping noise: misleading sets look stable, so processes enter
+// gladiator sub-rounds on wrong information for a long prefix, and the
+// Stable[r] mechanism must recover each time the set flips.
+TEST(Fig1Adversarial, SlowNoiseStillSatisfiesTheorem2) {
+  const int n_plus_1 = 5;
+  const auto props = test::distinctProposals(n_plus_1);
+  const auto fp = FailurePattern::failureFree(n_plus_1);
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    fd::UpsilonFd::Params p;
+    p.stable_set = fd::UpsilonFd::defaultStableSet(fp, n_plus_1 - 1);
+    p.stab_time = 2500;
+    p.noise_seed = seed;
+    p.noise_hold = 200;
+    RunConfig cfg;
+    cfg.n_plus_1 = n_plus_1;
+    cfg.fp = fp;
+    cfg.policy = (seed % 2 == 0) ? PolicyKind::kRoundRobin
+                                 : PolicyKind::kRandom;
+    cfg.fd = fd::makeUpsilonWithParams(fp, n_plus_1 - 1, p);
+    cfg.seed = seed;
+    const auto rr = runFig1(cfg, props);
+    const auto rep = checkKSetAgreement(rr, n_plus_1 - 1, props);
+    EXPECT_TRUE(rep.ok()) << "seed " << seed << ": " << rep.violation;
+  }
+}
+
+// No correct citizen: U = {p1,p2,p3} with citizen p4 faulty and gladiator
+// p3 faulty (U != correct holds via p3). The correct gladiators must
+// eliminate a value through (|U|-1)-converge after p3 crashes.
+TEST(Fig1Adversarial, EliminationThroughFaultyGladiator) {
+  const int n_plus_1 = 4;
+  const auto props = test::distinctProposals(n_plus_1);
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const auto fp =
+        FailurePattern::withCrashes(n_plus_1, {{2, 350}, {3, 60}});
+    RunConfig cfg;
+    cfg.n_plus_1 = n_plus_1;
+    cfg.fp = fp;
+    cfg.policy = PolicyKind::kRoundRobin;
+    cfg.fd = fd::makeUpsilon(fp, ProcSet{0, 1, 2}, /*stab_time=*/100, seed);
+    cfg.seed = seed;
+    const auto rr = runFig1(cfg, props);
+    const auto rep = checkKSetAgreement(rr, n_plus_1 - 1, props);
+    EXPECT_TRUE(rep.ok()) << "seed " << seed << ": " << rep.violation;
+  }
+}
+
+// A decided process stops taking steps; the laggards must still learn the
+// decision through D. Crash everyone but two at time 0 so the survivors
+// commit fast, then release the detector late for the rest.
+TEST(Fig1Adversarial, LaggardsLearnThroughD) {
+  const int n_plus_1 = 5;
+  const auto props = test::distinctProposals(n_plus_1);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto fp = FailurePattern::failureFree(n_plus_1);
+    RunConfig cfg;
+    cfg.n_plus_1 = n_plus_1;
+    cfg.fp = fp;
+    cfg.fd = fd::makeUpsilon(fp, /*stab_time=*/1'000'000'000, seed);  // never
+    cfg.seed = seed;
+    // Scripted prefix: p1 and p2 run alone for a long stretch; with only
+    // 2 participants the first n-converge commits, they decide and halt.
+    std::vector<Pid> prefix;
+    for (int i = 0; i < 600; ++i) prefix.push_back(i % 2);
+    // Then everyone else runs; they must pick the decision up from D even
+    // though Upsilon never stabilizes.
+    sim::Run run(cfg, [](Env& e, Value v) { return upsilonSetAgreement(e, v); },
+                 props);
+    sim::ScriptedPolicy policy(std::move(prefix),
+                               std::make_unique<sim::RandomPolicy>());
+    const Time taken = run.scheduler().run(policy, cfg.max_steps);
+    const auto rr = run.finish(taken);
+    const auto rep = checkKSetAgreement(rr, n_plus_1 - 1, props);
+    EXPECT_TRUE(rep.ok()) << "seed " << seed << ": " << rep.violation;
+  }
+}
+
+// Identical proposals must decide that value regardless of anything else.
+TEST(Fig1Adversarial, IdenticalProposalsDecideImmediately) {
+  const int n_plus_1 = 6;
+  const std::vector<Value> props(n_plus_1, 77);
+  const auto fp = FailurePattern::failureFree(n_plus_1);
+  RunConfig cfg;
+  cfg.n_plus_1 = n_plus_1;
+  cfg.fp = fp;
+  cfg.policy = PolicyKind::kRoundRobin;
+  cfg.fd = fd::makeUpsilon(fp, /*stab_time=*/1'000'000'000, 3);
+  const auto rr = runFig1(cfg, props);
+  const auto rep = checkKSetAgreement(rr, n_plus_1 - 1, props);
+  EXPECT_TRUE(rep.ok()) << rep.violation;
+  EXPECT_EQ(rep.distinct, 1);
+  for (const auto& [p, v] : rr.decisions) EXPECT_EQ(v, 77);
+}
+
+}  // namespace
+}  // namespace wfd

@@ -1,0 +1,157 @@
+// Theorem 2: the Fig. 1 protocol solves n-set agreement using Upsilon and
+// registers, tolerating n crashes among n+1 processes. Swept across
+// system sizes, Upsilon stabilization times, stable sets, crash patterns,
+// schedules and snapshot flavors.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace wfd {
+namespace {
+
+using core::checkKSetAgreement;
+using core::upsilonSetAgreement;
+using sim::Env;
+using sim::FailurePattern;
+using sim::RunConfig;
+using sim::RunResult;
+using sim::SnapshotFlavor;
+
+RunResult runFig1(int n_plus_1, const FailurePattern& fp, fd::FdPtr fd,
+                  std::uint64_t seed, const std::vector<Value>& props,
+                  SnapshotFlavor flavor = SnapshotFlavor::kNative,
+                  Time max_steps = 3'000'000) {
+  RunConfig cfg;
+  cfg.n_plus_1 = n_plus_1;
+  cfg.fp = fp;
+  cfg.fd = std::move(fd);
+  cfg.seed = seed;
+  cfg.flavor = flavor;
+  cfg.max_steps = max_steps;
+  return sim::runTask(
+      cfg, [](Env& e, Value v) { return upsilonSetAgreement(e, v); }, props);
+}
+
+struct Params {
+  int n_plus_1;
+  Time stab_time;
+  SnapshotFlavor flavor;
+};
+
+class Fig1Sweep : public ::testing::TestWithParam<Params> {};
+
+TEST_P(Fig1Sweep, FailureFreeRunsSatisfyTheorem2) {
+  const auto [n_plus_1, stab, flavor] = GetParam();
+  const auto props = test::distinctProposals(n_plus_1);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto fp = FailurePattern::failureFree(n_plus_1);
+    const auto rr =
+        runFig1(n_plus_1, fp, fd::makeUpsilon(fp, stab, seed), seed, props,
+                flavor);
+    const auto rep = checkKSetAgreement(rr, n_plus_1 - 1, props);
+    EXPECT_TRUE(rep.ok()) << "seed " << seed << ": " << rep.violation
+                          << " (steps=" << rr.steps << ")";
+  }
+}
+
+TEST_P(Fig1Sweep, RandomCrashesSatisfyTheorem2) {
+  const auto [n_plus_1, stab, flavor] = GetParam();
+  const auto props = test::distinctProposals(n_plus_1);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    // Up to n crashes (wait-free environment), at arbitrary times.
+    const auto fp = FailurePattern::random(n_plus_1, n_plus_1 - 1,
+                                           stab + 500, seed * 13 + 5);
+    const auto rr =
+        runFig1(n_plus_1, fp, fd::makeUpsilon(fp, stab, seed), seed, props,
+                flavor);
+    const auto rep = checkKSetAgreement(rr, n_plus_1 - 1, props);
+    EXPECT_TRUE(rep.ok()) << "seed " << seed << " correct "
+                          << fp.correct().toString() << ": " << rep.violation;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Fig1Sweep,
+    ::testing::Values(Params{2, 200, SnapshotFlavor::kNative},
+                      Params{3, 0, SnapshotFlavor::kNative},
+                      Params{3, 500, SnapshotFlavor::kNative},
+                      Params{4, 1000, SnapshotFlavor::kNative},
+                      Params{5, 2000, SnapshotFlavor::kNative},
+                      Params{6, 1000, SnapshotFlavor::kNative},
+                      Params{3, 500, SnapshotFlavor::kAfek},
+                      Params{4, 800, SnapshotFlavor::kAfek}),
+    [](const auto& info) {
+      const Params& p = info.param;
+      return "n" + std::to_string(p.n_plus_1) + "_stab" +
+             std::to_string(p.stab_time) +
+             (p.flavor == SnapshotFlavor::kAfek ? "_afek" : "_native");
+    });
+
+// Every legal stable set U for a 4-process failure-free run must let the
+// protocol terminate (the paper quantifies over all Upsilon histories;
+// we enumerate all stable sets != correct(F)).
+TEST(Fig1, AllLegalStableSetsTerminate) {
+  const int n_plus_1 = 4;
+  const auto fp = FailurePattern::failureFree(n_plus_1);
+  const auto props = test::distinctProposals(n_plus_1);
+  for (std::uint64_t bits = 1; bits < (1u << n_plus_1); ++bits) {
+    const ProcSet u = ProcSet::fromBits(bits);
+    if (u == fp.correct()) continue;  // illegal stable set
+    const auto rr = runFig1(n_plus_1, fp,
+                            fd::makeUpsilon(fp, u, /*stab_time=*/300, bits),
+                            /*seed=*/bits, props);
+    const auto rep = checkKSetAgreement(rr, n_plus_1 - 1, props);
+    EXPECT_TRUE(rep.ok()) << "U=" << u.toString() << ": " << rep.violation;
+  }
+}
+
+// With one crash the crashed process's value can be eliminated through
+// the gladiator mechanism even when Upsilon outputs the whole universe.
+TEST(Fig1, UniverseStableSetWithCrash) {
+  const int n_plus_1 = 4;
+  const auto fp = FailurePattern::withCrashes(n_plus_1, {{2, 400}});
+  const auto props = test::distinctProposals(n_plus_1);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto rr = runFig1(
+        n_plus_1, fp,
+        fd::makeUpsilon(fp, ProcSet::full(n_plus_1), /*stab_time=*/200, seed),
+        seed, props);
+    const auto rep = checkKSetAgreement(rr, n_plus_1 - 1, props);
+    EXPECT_TRUE(rep.ok()) << rep.violation;
+  }
+}
+
+// The Remark after Theorem 2: with at most n participants (one process
+// never scheduled — indistinguishable from non-participation), every
+// correct participant decides in round 1 via the first n-converge.
+TEST(Fig1, TerminatesWithNonParticipant) {
+  const int n_plus_1 = 4;
+  // p4 crashes at time 0: it never takes a step, i.e. never participates.
+  const auto fp = FailurePattern::withCrashes(n_plus_1, {{3, 0}});
+  const auto props = test::distinctProposals(n_plus_1);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    // Upsilon never stabilizes within the run (huge stab time): round-1
+    // termination must not depend on the detector.
+    const auto rr = runFig1(n_plus_1, fp,
+                            fd::makeUpsilon(fp, /*stab_time=*/1'000'000'000,
+                                            seed),
+                            seed, props, SnapshotFlavor::kNative,
+                            /*max_steps=*/200'000);
+    const auto rep = checkKSetAgreement(rr, n_plus_1 - 1, props);
+    EXPECT_TRUE(rep.ok()) << rep.violation;
+  }
+}
+
+// Deterministic replay: same seed => identical decision map and step count.
+TEST(Fig1, DeterministicReplay) {
+  const int n_plus_1 = 4;
+  const auto fp = FailurePattern::failureFree(n_plus_1);
+  const auto props = test::distinctProposals(n_plus_1);
+  const auto a = runFig1(n_plus_1, fp, fd::makeUpsilon(fp, 300, 9), 42, props);
+  const auto b = runFig1(n_plus_1, fp, fd::makeUpsilon(fp, 300, 9), 42, props);
+  EXPECT_EQ(a.decisions, b.decisions);
+  EXPECT_EQ(a.steps, b.steps);
+}
+
+}  // namespace
+}  // namespace wfd

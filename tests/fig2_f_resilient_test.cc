@@ -1,0 +1,162 @@
+// Theorem 6: the Fig. 2 protocol solves f-set agreement using Upsilon^f
+// and registers in E_f. Swept over (n, f), stabilization times, crash
+// patterns, snapshot flavors and stable sets.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace wfd {
+namespace {
+
+using core::checkKSetAgreement;
+using core::upsilonFSetAgreement;
+using sim::Env;
+using sim::FailurePattern;
+using sim::RunConfig;
+using sim::RunResult;
+using sim::SnapshotFlavor;
+
+RunResult runFig2(int n_plus_1, int f, const FailurePattern& fp, fd::FdPtr fd,
+                  std::uint64_t seed, const std::vector<Value>& props,
+                  SnapshotFlavor flavor = SnapshotFlavor::kNative) {
+  RunConfig cfg;
+  cfg.n_plus_1 = n_plus_1;
+  cfg.fp = fp;
+  cfg.fd = std::move(fd);
+  cfg.seed = seed;
+  cfg.flavor = flavor;
+  cfg.max_steps = 4'000'000;
+  return sim::runTask(
+      cfg, [f](Env& e, Value v) { return upsilonFSetAgreement(e, f, v); },
+      props);
+}
+
+struct Params {
+  int n_plus_1;
+  int f;
+  Time stab_time;
+  SnapshotFlavor flavor;
+};
+
+class Fig2Sweep : public ::testing::TestWithParam<Params> {};
+
+TEST_P(Fig2Sweep, FailureFreeRunsSatisfyTheorem6) {
+  const auto [n_plus_1, f, stab, flavor] = GetParam();
+  const auto props = test::distinctProposals(n_plus_1);
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const auto fp = FailurePattern::failureFree(n_plus_1);
+    const auto rr = runFig2(n_plus_1, f, fp,
+                            fd::makeUpsilonF(fp, f, stab, seed), seed, props,
+                            flavor);
+    const auto rep = checkKSetAgreement(rr, f, props);
+    EXPECT_TRUE(rep.ok()) << "seed " << seed << ": " << rep.violation
+                          << " (distinct=" << rep.distinct << ")";
+  }
+}
+
+TEST_P(Fig2Sweep, CrashesWithinEfSatisfyTheorem6) {
+  const auto [n_plus_1, f, stab, flavor] = GetParam();
+  const auto props = test::distinctProposals(n_plus_1);
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const auto fp =
+        FailurePattern::random(n_plus_1, f, stab + 400, seed * 31 + 7);
+    ASSERT_TRUE(fp.inEnvironment(f));
+    const auto rr = runFig2(n_plus_1, f, fp,
+                            fd::makeUpsilonF(fp, f, stab, seed), seed, props,
+                            flavor);
+    const auto rep = checkKSetAgreement(rr, f, props);
+    EXPECT_TRUE(rep.ok()) << "seed " << seed << " correct "
+                          << fp.correct().toString() << ": " << rep.violation;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Fig2Sweep,
+    ::testing::Values(Params{4, 1, 400, SnapshotFlavor::kNative},
+                      Params{4, 2, 400, SnapshotFlavor::kNative},
+                      Params{4, 3, 400, SnapshotFlavor::kNative},
+                      Params{5, 2, 800, SnapshotFlavor::kNative},
+                      Params{5, 4, 800, SnapshotFlavor::kNative},
+                      Params{6, 3, 600, SnapshotFlavor::kNative},
+                      Params{4, 2, 400, SnapshotFlavor::kAfek},
+                      Params{5, 3, 500, SnapshotFlavor::kAfek}),
+    [](const auto& info) {
+      const Params& p = info.param;
+      return "n" + std::to_string(p.n_plus_1) + "_f" + std::to_string(p.f) +
+             "_stab" + std::to_string(p.stab_time) +
+             (p.flavor == SnapshotFlavor::kAfek ? "_afek" : "_native");
+    });
+
+// Upsilon^n is Upsilon: with f = n, Fig. 2 must coincide in guarantees
+// with Fig. 1 (at most n distinct decisions).
+TEST(Fig2, WaitFreeCaseMatchesFig1Guarantees) {
+  const int n_plus_1 = 4;
+  const int f = 3;
+  const auto props = test::distinctProposals(n_plus_1);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto fp = FailurePattern::failureFree(n_plus_1);
+    const auto rr = runFig2(n_plus_1, f, fp, fd::makeUpsilonF(fp, f, 300, seed),
+                            seed, props);
+    const auto rep = checkKSetAgreement(rr, f, props);
+    EXPECT_TRUE(rep.ok()) << rep.violation;
+  }
+}
+
+// The critical Theorem 6 case: all citizens faulty and a faulty gladiator
+// — the snapshot mechanism must cap gladiator commits at |U|+f-n-1.
+// U = {p1,p2,p3}, correct = {p1,p2}: citizen p4 and gladiator p3 crash.
+TEST(Fig2, AllCitizensFaultyGladiatorsEliminate) {
+  const int n_plus_1 = 4;
+  const int f = 2;
+  const auto props = test::distinctProposals(n_plus_1);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto fp =
+        FailurePattern::withCrashes(n_plus_1, {{2, 300}, {3, 250}});
+    const ProcSet u{0, 1, 2};
+    const auto rr = runFig2(n_plus_1, f, fp,
+                            fd::makeUpsilonF(fp, f, u, /*stab_time=*/100, seed),
+                            seed, props);
+    const auto rep = checkKSetAgreement(rr, f, props);
+    EXPECT_TRUE(rep.ok()) << rep.violation;
+    EXPECT_LE(rep.distinct, f);
+  }
+}
+
+// |U| = n+1-f makes the gladiator converge parameter 0 (never commits):
+// termination must come from a correct citizen.
+TEST(Fig2, MinimumSizeStableSetReliesOnCitizens) {
+  const int n_plus_1 = 5;
+  const int f = 2;
+  const auto props = test::distinctProposals(n_plus_1);
+  const auto fp = FailurePattern::failureFree(n_plus_1);
+  const ProcSet u{0, 1, 2};  // size 3 = n+1-f
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto rr = runFig2(n_plus_1, f, fp,
+                            fd::makeUpsilonF(fp, f, u, 200, seed), seed, props);
+    const auto rep = checkKSetAgreement(rr, f, props);
+    EXPECT_TRUE(rep.ok()) << rep.violation;
+  }
+}
+
+// Slowly-flapping noise drives processes into gladiator sub-rounds with
+// misleading stable-looking sets before the real stabilization.
+TEST(Fig2, MisleadingNoiseBeforeStabilization) {
+  const int n_plus_1 = 5;
+  const int f = 3;
+  const auto props = test::distinctProposals(n_plus_1);
+  const auto fp = FailurePattern::failureFree(n_plus_1);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    fd::UpsilonFd::Params p;
+    p.stable_set = fd::UpsilonFd::defaultStableSet(fp, f);
+    p.stab_time = 1500;
+    p.noise_seed = seed;
+    p.noise_hold = 120;  // noise looks stable for 120 steps at a time
+    const auto rr = runFig2(n_plus_1, f, fp,
+                            fd::makeUpsilonWithParams(fp, f, p), seed, props);
+    const auto rep = checkKSetAgreement(rr, f, props);
+    EXPECT_TRUE(rep.ok()) << "seed " << seed << ": " << rep.violation;
+  }
+}
+
+}  // namespace
+}  // namespace wfd

@@ -1,0 +1,164 @@
+// Immediate snapshot properties: self-inclusion, containment, immediacy
+// — checked offline from recorded views across random, lockstep and
+// solo-ordered schedules, plus crash sweeps (wait-freedom).
+#include <gtest/gtest.h>
+
+#include "memory/immediate_snapshot.h"
+#include "test_util.h"
+
+namespace wfd {
+namespace {
+
+using sim::Coro;
+using sim::Env;
+using sim::FailurePattern;
+using sim::RunConfig;
+using sim::Unit;
+
+Coro<Unit> participant(Env& env, Value v) {
+  const auto view =
+      co_await mem::immediateSnapshot(env, sim::ObjKey{"t.is"}, RegVal(v));
+  std::vector<RegVal> copy = view;
+  env.note("view", RegVal::tuple(std::move(copy)));
+  co_return Unit{};
+}
+
+struct Views {
+  // One view per participating process (pid -> slots).
+  std::map<Pid, std::vector<RegVal>> by_pid;
+};
+
+Views collect(const sim::RunResult& rr) {
+  Views out;
+  for (const auto& e : rr.trace().events()) {
+    if (e.kind == sim::EventKind::kNote && e.label == "view") {
+      out.by_pid[e.pid] = e.value.asTuple();
+    }
+  }
+  return out;
+}
+
+bool contains(const std::vector<RegVal>& view, Pid j) {
+  return !view[static_cast<std::size_t>(j)].isBottom();
+}
+
+bool subsetOf(const std::vector<RegVal>& a, const std::vector<RegVal>& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].isBottom() && b[i].isBottom()) return false;
+  }
+  return true;
+}
+
+void checkProperties(const Views& vs, int n_plus_1) {
+  for (const auto& [i, si] : vs.by_pid) {
+    // Self-inclusion with the right value.
+    ASSERT_TRUE(contains(si, i));
+    EXPECT_EQ(si[static_cast<std::size_t>(i)].asInt(), 100 + i);
+    // Values are never invented.
+    for (Pid j = 0; j < n_plus_1; ++j) {
+      if (contains(si, j)) {
+        EXPECT_EQ(si[static_cast<std::size_t>(j)].asInt(), 100 + j);
+      }
+    }
+  }
+  for (const auto& [i, si] : vs.by_pid) {
+    for (const auto& [j, sj] : vs.by_pid) {
+      // Containment.
+      EXPECT_TRUE(subsetOf(si, sj) || subsetOf(sj, si))
+          << "views of p" << i + 1 << " and p" << j + 1 << " incomparable";
+      // Immediacy: j in S_i  =>  S_j subset of S_i.
+      if (contains(si, j)) {
+        EXPECT_TRUE(subsetOf(sj, si))
+            << "immediacy broken: p" << j + 1 << " in view of p" << i + 1;
+      }
+    }
+  }
+}
+
+TEST(ImmediateSnapshot, PropertiesUnderRandomSchedules) {
+  for (int n_plus_1 : {2, 3, 4, 6}) {
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+      RunConfig cfg;
+      cfg.n_plus_1 = n_plus_1;
+      cfg.seed = seed;
+      const auto rr = sim::runTask(
+          cfg, [](Env& e, Value v) { return participant(e, v); },
+          test::distinctProposals(n_plus_1));
+      ASSERT_TRUE(rr.all_correct_done);
+      checkProperties(collect(rr), n_plus_1);
+    }
+  }
+}
+
+TEST(ImmediateSnapshot, LockstepGivesFullViewToEveryone) {
+  const int n_plus_1 = 4;
+  RunConfig cfg;
+  cfg.n_plus_1 = n_plus_1;
+  cfg.policy = sim::PolicyKind::kRoundRobin;
+  const auto rr = sim::runTask(
+      cfg, [](Env& e, Value v) { return participant(e, v); },
+      test::distinctProposals(n_plus_1));
+  const auto vs = collect(rr);
+  checkProperties(vs, n_plus_1);
+  // Lockstep: everyone descends together and meets at the same level
+  // with everyone present.
+  for (const auto& [i, si] : vs.by_pid) {
+    for (Pid j = 0; j < n_plus_1; ++j) EXPECT_TRUE(contains(si, j));
+  }
+}
+
+TEST(ImmediateSnapshot, SoloRunnerSeesOnlyItself) {
+  const int n_plus_1 = 4;
+  // p1 runs alone (everyone else crashed at time 0): its view is {p1}.
+  RunConfig cfg;
+  cfg.n_plus_1 = n_plus_1;
+  cfg.fp = FailurePattern::withCrashes(n_plus_1, {{1, 0}, {2, 0}, {3, 0}});
+  const auto rr = sim::runTask(
+      cfg, [](Env& e, Value v) { return participant(e, v); },
+      test::distinctProposals(n_plus_1));
+  const auto vs = collect(rr);
+  ASSERT_TRUE(vs.by_pid.contains(0));
+  const auto& view = vs.by_pid.at(0);
+  EXPECT_TRUE(contains(view, 0));
+  for (Pid j = 1; j < n_plus_1; ++j) EXPECT_FALSE(contains(view, j));
+}
+
+TEST(ImmediateSnapshot, WaitFreeUnderCrashes) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const int n_plus_1 = 5;
+    RunConfig cfg;
+    cfg.n_plus_1 = n_plus_1;
+    cfg.seed = seed;
+    cfg.fp = FailurePattern::random(n_plus_1, n_plus_1 - 1, 30, seed + 7);
+    const auto rr = sim::runTask(
+        cfg, [](Env& e, Value v) { return participant(e, v); },
+        test::distinctProposals(n_plus_1));
+    ASSERT_TRUE(rr.all_correct_done) << "seed " << seed;
+    checkProperties(collect(rr), n_plus_1);
+  }
+}
+
+TEST(ImmediateSnapshot, ViewSizesWitnessLevels) {
+  // The level-descent invariant: a view returned at level L has >= L
+  // members — so view sizes are always >= 1 and a full view has n+1.
+  const int n_plus_1 = 5;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    RunConfig cfg;
+    cfg.n_plus_1 = n_plus_1;
+    cfg.seed = seed;
+    const auto rr = sim::runTask(
+        cfg, [](Env& e, Value v) { return participant(e, v); },
+        test::distinctProposals(n_plus_1));
+    for (const auto& [i, si] : collect(rr).by_pid) {
+      int size = 0;
+      for (Pid j = 0; j < n_plus_1; ++j) {
+        if (contains(si, j)) ++size;
+      }
+      EXPECT_GE(size, 1);
+      EXPECT_LE(size, n_plus_1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wfd

@@ -1,0 +1,167 @@
+// Property tests for the k-converge routine (paper Sect. 5.1, [21]):
+// C-Termination, C-Validity, C-Agreement, Convergence — swept across
+// system sizes, k, snapshot flavors, seeds and crash patterns.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_util.h"
+
+namespace wfd {
+namespace {
+
+using core::kConverge;
+using core::Pick;
+using sim::Coro;
+using sim::Env;
+using sim::FailurePattern;
+using sim::RunConfig;
+using sim::RunResult;
+using sim::SnapshotFlavor;
+using sim::Unit;
+
+// Each process performs one kConverge and reports (value, committed) by
+// deciding value and noting commitment.
+Coro<Unit> oneShot(Env& env, int k, Value v) {
+  env.propose(v);
+  const Pick p = co_await kConverge(env, sim::ObjKey{"t.conv"}, k, v);
+  env.note(p.committed ? "commit" : "adopt", RegVal(p.value));
+  env.decide(p.value);
+  co_return Unit{};
+}
+
+struct Outcome {
+  std::set<Value> picked;
+  bool any_committed = false;
+  bool all_committed = true;
+  RunResult run;
+};
+
+Outcome runOnce(int n_plus_1, int k, const std::vector<Value>& props,
+                SnapshotFlavor flavor, std::uint64_t seed,
+                std::optional<FailurePattern> fp = std::nullopt) {
+  RunConfig cfg;
+  cfg.n_plus_1 = n_plus_1;
+  cfg.flavor = flavor;
+  cfg.seed = seed;
+  if (fp) cfg.fp = fp;
+  Outcome out;
+  out.run = sim::runTask(
+      cfg, [k](Env& e, Value v) { return oneShot(e, k, v); }, props);
+  for (const auto& e : out.run.trace().events()) {
+    if (e.kind != sim::EventKind::kNote) continue;
+    if (e.label == "commit") out.any_committed = true;
+    if (e.label == "adopt") out.all_committed = false;
+  }
+  for (const auto& [p, v] : out.run.decisions) out.picked.insert(v);
+  return out;
+}
+
+struct Params {
+  int n_plus_1;
+  int k;
+  SnapshotFlavor flavor;
+};
+
+class KConvergeSweep : public ::testing::TestWithParam<Params> {};
+
+TEST_P(KConvergeSweep, PropertiesHoldAcrossSeeds) {
+  const auto [n_plus_1, k, flavor] = GetParam();
+  const auto props = test::distinctProposals(n_plus_1);
+  const std::set<Value> allowed(props.begin(), props.end());
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const Outcome out = runOnce(n_plus_1, k, props, flavor, seed);
+    // C-Termination.
+    ASSERT_TRUE(out.run.all_correct_done) << "seed " << seed;
+    ASSERT_EQ(out.run.decisions.size(), static_cast<std::size_t>(n_plus_1));
+    // C-Validity.
+    for (Value v : out.picked) EXPECT_TRUE(allowed.contains(v)) << v;
+    // C-Agreement: a commit caps the picked set at k.
+    if (out.any_committed) {
+      EXPECT_LE(static_cast<int>(out.picked.size()), k) << "seed " << seed;
+    }
+  }
+}
+
+TEST_P(KConvergeSweep, ConvergenceWithFewInputs) {
+  const auto [n_plus_1, k, flavor] = GetParam();
+  if (k < 1) GTEST_SKIP();
+  // At most k distinct inputs -> every picker commits.
+  const auto props = test::proposalsWithDistinct(n_plus_1, k);
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const Outcome out = runOnce(n_plus_1, k, props, flavor, seed);
+    ASSERT_TRUE(out.run.all_correct_done);
+    EXPECT_TRUE(out.all_committed) << "seed " << seed;
+    EXPECT_LE(static_cast<int>(out.picked.size()), k);
+  }
+}
+
+TEST_P(KConvergeSweep, PropertiesHoldUnderCrashes) {
+  const auto [n_plus_1, k, flavor] = GetParam();
+  const auto props = test::distinctProposals(n_plus_1);
+  const std::set<Value> allowed(props.begin(), props.end());
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const auto fp =
+        FailurePattern::random(n_plus_1, n_plus_1 - 1, 60, seed * 7 + 1);
+    const Outcome out = runOnce(n_plus_1, k, props, flavor, seed, fp);
+    // Wait-freedom: correct processes pick no matter who crashes.
+    ASSERT_TRUE(out.run.all_correct_done) << "seed " << seed;
+    for (Value v : out.picked) EXPECT_TRUE(allowed.contains(v));
+    if (out.any_committed) {
+      EXPECT_LE(static_cast<int>(out.picked.size()), k);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KConvergeSweep,
+    ::testing::Values(
+        Params{2, 1, SnapshotFlavor::kNative},
+        Params{3, 1, SnapshotFlavor::kNative},
+        Params{3, 2, SnapshotFlavor::kNative},
+        Params{4, 2, SnapshotFlavor::kNative},
+        Params{4, 3, SnapshotFlavor::kNative},
+        Params{5, 1, SnapshotFlavor::kNative},
+        Params{5, 4, SnapshotFlavor::kNative},
+        Params{6, 3, SnapshotFlavor::kNative},
+        Params{3, 2, SnapshotFlavor::kAfek},
+        Params{4, 2, SnapshotFlavor::kAfek},
+        Params{4, 3, SnapshotFlavor::kAfek},
+        Params{5, 3, SnapshotFlavor::kAfek}),
+    [](const auto& info) {
+      const Params& p = info.param;
+      return "n" + std::to_string(p.n_plus_1) + "_k" + std::to_string(p.k) +
+             (p.flavor == SnapshotFlavor::kAfek ? "_afek" : "_native");
+    });
+
+TEST(KConverge, ZeroConvergeNeverCommits) {
+  // By definition 0-converge(v) returns (v, false).
+  const auto props = test::distinctProposals(3);
+  const Outcome out =
+      runOnce(3, 0, props, SnapshotFlavor::kNative, 1);
+  ASSERT_TRUE(out.run.all_correct_done);
+  EXPECT_FALSE(out.any_committed);
+  // Everyone keeps its own value.
+  EXPECT_EQ(out.picked.size(), 3u);
+}
+
+TEST(KConverge, FullWidthAlwaysCommits) {
+  // k = n+1 distinct inputs <= k: everyone commits.
+  const auto props = test::distinctProposals(4);
+  const Outcome out = runOnce(4, 4, props, SnapshotFlavor::kNative, 3);
+  ASSERT_TRUE(out.run.all_correct_done);
+  EXPECT_TRUE(out.all_committed);
+}
+
+TEST(KConverge, SoloParticipantCommitsWithKOne) {
+  // A solo run (everyone else crashed at time 0) has one input value.
+  auto fp = FailurePattern::withCrashes(4, {{0, 0}, {1, 0}, {2, 0}});
+  const Outcome out = runOnce(4, 1, test::distinctProposals(4),
+                              SnapshotFlavor::kNative, 5, fp);
+  ASSERT_TRUE(out.run.all_correct_done);
+  EXPECT_TRUE(out.any_committed);
+  EXPECT_EQ(out.picked, std::set<Value>{103});
+}
+
+}  // namespace
+}  // namespace wfd

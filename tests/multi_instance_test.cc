@@ -1,0 +1,169 @@
+// Multi-instance set agreement (the long-lived API) and scale: many
+// epochs, many processes, detectors shared across instances.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "test_util.h"
+
+namespace wfd {
+namespace {
+
+using core::upsilonSetAgreementInstance;
+using sim::Coro;
+using sim::Env;
+using sim::FailurePattern;
+using sim::RunConfig;
+using sim::Unit;
+
+Coro<Unit> epochWorker(Env& env, int epochs, Value base) {
+  for (int e = 1; e <= epochs; ++e) {
+    const Value got = co_await upsilonSetAgreementInstance(
+        env, e, base * 100 + e);
+    env.note("ep" + std::to_string(e), RegVal(got));
+  }
+  co_return Unit{};
+}
+
+struct EpochStats {
+  std::map<int, std::set<Value>> decided;
+  std::map<int, int> reporters;
+};
+
+EpochStats harvest(const sim::RunResult& rr) {
+  EpochStats st;
+  for (const auto& e : rr.trace().events()) {
+    if (e.kind != sim::EventKind::kNote || e.label.rfind("ep", 0) != 0) {
+      continue;
+    }
+    const int epoch = std::stoi(e.label.substr(2));
+    st.decided[epoch].insert(e.value.asInt());
+    ++st.reporters[epoch];
+  }
+  return st;
+}
+
+TEST(MultiInstance, EveryEpochRespectsTheBound) {
+  const int n_plus_1 = 4;
+  const int epochs = 6;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto fp = FailurePattern::random(n_plus_1, n_plus_1 - 1, 2000,
+                                           seed * 3 + 2);
+    RunConfig cfg;
+    cfg.n_plus_1 = n_plus_1;
+    cfg.fp = fp;
+    cfg.fd = fd::makeUpsilon(fp, 300, seed);
+    cfg.seed = seed;
+    cfg.max_steps = 3'000'000;
+    const auto rr = sim::runTask(
+        cfg,
+        [epochs](Env& e, Value) {
+          return epochWorker(e, epochs, e.me() + 1);
+        },
+        std::vector<Value>(static_cast<std::size_t>(n_plus_1), 0));
+    ASSERT_TRUE(rr.all_correct_done) << "seed " << seed;
+    const auto st = harvest(rr);
+    for (int e = 1; e <= epochs; ++e) {
+      EXPECT_LE(static_cast<int>(st.decided.at(e).size()), n_plus_1 - 1)
+          << "epoch " << e << " seed " << seed;
+      // Decisions are someone's proposal for that very epoch.
+      for (Value v : st.decided.at(e)) {
+        EXPECT_EQ(v % 100, e);
+        EXPECT_GE(v / 100, 1);
+        EXPECT_LE(v / 100, n_plus_1);
+      }
+    }
+  }
+}
+
+TEST(MultiInstance, InstancesAreIsolated) {
+  // A value proposed only in epoch 1 must never be decided in epoch 2.
+  const int n_plus_1 = 3;
+  RunConfig cfg;
+  cfg.n_plus_1 = n_plus_1;
+  const auto fp = FailurePattern::failureFree(n_plus_1);
+  cfg.fp = fp;
+  cfg.fd = fd::makeUpsilon(fp, 100, 5);
+  cfg.seed = 5;
+  const auto rr = sim::runTask(
+      cfg,
+      [](Env& e, Value) -> Coro<Unit> {
+        const Value a =
+            co_await upsilonSetAgreementInstance(e, 1, 1000 + e.me());
+        const Value b =
+            co_await upsilonSetAgreementInstance(e, 2, 2000 + e.me());
+        e.note("a", RegVal(a));
+        e.note("b", RegVal(b));
+        co_return Unit{};
+      },
+      {0, 0, 0});
+  ASSERT_TRUE(rr.all_correct_done);
+  for (const auto& e : rr.trace().events()) {
+    if (e.kind != sim::EventKind::kNote) continue;
+    if (e.label == "a") {
+      EXPECT_LT(e.value.asInt(), 2000);
+    }
+    if (e.label == "b") {
+      EXPECT_GE(e.value.asInt(), 2000);
+    }
+  }
+}
+
+TEST(Scale, SixteenProcessesDecide) {
+  const int n_plus_1 = 16;
+  const auto props = test::distinctProposals(n_plus_1);
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto fp = FailurePattern::random(n_plus_1, n_plus_1 - 1, 500,
+                                           seed * 11);
+    RunConfig cfg;
+    cfg.n_plus_1 = n_plus_1;
+    cfg.fp = fp;
+    cfg.fd = fd::makeUpsilon(fp, 400, seed);
+    cfg.seed = seed;
+    cfg.max_steps = 8'000'000;
+    const auto rr = sim::runTask(
+        cfg, [](Env& e, Value v) { return core::upsilonSetAgreement(e, v); },
+        props);
+    const auto rep = core::checkKSetAgreement(rr, n_plus_1 - 1, props);
+    EXPECT_TRUE(rep.ok()) << "seed " << seed << ": " << rep.violation;
+  }
+}
+
+TEST(Scale, FortyProcessesNearProcSetLimit) {
+  const int n_plus_1 = 40;
+  const auto props = test::distinctProposals(n_plus_1);
+  const auto fp = FailurePattern::failureFree(n_plus_1);
+  RunConfig cfg;
+  cfg.n_plus_1 = n_plus_1;
+  cfg.fp = fp;
+  cfg.fd = fd::makeUpsilon(fp, 200, 1);
+  cfg.seed = 1;
+  cfg.max_steps = 20'000'000;
+  const auto rr = sim::runTask(
+      cfg, [](Env& e, Value v) { return core::upsilonSetAgreement(e, v); },
+      props);
+  const auto rep = core::checkKSetAgreement(rr, n_plus_1 - 1, props);
+  EXPECT_TRUE(rep.ok()) << rep.violation;
+}
+
+TEST(Scale, Fig2WideGrid) {
+  const int n_plus_1 = 12;
+  const int f = 5;
+  const auto props = test::distinctProposals(n_plus_1);
+  const auto fp = FailurePattern::random(n_plus_1, f, 500, 77);
+  RunConfig cfg;
+  cfg.n_plus_1 = n_plus_1;
+  cfg.fp = fp;
+  cfg.fd = fd::makeUpsilonF(fp, f, 400, 2);
+  cfg.seed = 2;
+  cfg.max_steps = 8'000'000;
+  const auto rr = sim::runTask(
+      cfg, [f](Env& e, Value v) { return core::upsilonFSetAgreement(e, f, v); },
+      props);
+  const auto rep = core::checkKSetAgreement(rr, f, props);
+  EXPECT_TRUE(rep.ok()) << rep.violation;
+}
+
+}  // namespace
+}  // namespace wfd

@@ -1,0 +1,110 @@
+// Scheduling policies: fairness, scripting, eventual synchrony.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "test_util.h"
+
+namespace wfd {
+namespace {
+
+using sim::Coro;
+using sim::Env;
+using sim::EventuallySynchronousPolicy;
+using sim::FailurePattern;
+using sim::RunConfig;
+using sim::Unit;
+
+Coro<Unit> stepper(Env& env, int steps) {
+  const sim::ObjId r = env.reg(sim::ObjKey{"pol", env.me()});
+  for (int i = 0; i < steps; ++i) co_await env.write(r, RegVal(Value{i}));
+  co_return Unit{};
+}
+
+// Count per-process steps under a policy for a fixed horizon.
+std::map<Pid, Time> stepsUnder(sim::SchedulePolicy& policy, int n_plus_1,
+                               Time horizon) {
+  RunConfig cfg;
+  cfg.n_plus_1 = n_plus_1;
+  sim::Run run(cfg, [](Env& e, Value) { return stepper(e, 1 << 28); },
+               std::vector<Value>(static_cast<std::size_t>(n_plus_1), 0));
+  run.scheduler().run(policy, horizon);
+  std::map<Pid, Time> out;
+  for (Pid p = 0; p < n_plus_1; ++p) {
+    out[p] = run.scheduler().ctx(p).steps;
+  }
+  return out;
+}
+
+TEST(Policies, RoundRobinIsPerfectlyBalanced) {
+  sim::RoundRobinPolicy rr;
+  const auto steps = stepsUnder(rr, 4, 400);
+  for (const auto& [p, s] : steps) EXPECT_EQ(s, 100);
+}
+
+TEST(Policies, RandomIsRoughlyBalanced) {
+  sim::RandomPolicy rnd;
+  const auto steps = stepsUnder(rnd, 4, 4000);
+  for (const auto& [p, s] : steps) {
+    EXPECT_GT(s, 800);
+    EXPECT_LT(s, 1200);
+  }
+}
+
+TEST(Policies, ScriptedPrefixIsHonored) {
+  sim::ScriptedPolicy pol({2, 2, 2, 0, 1},
+                          std::make_unique<sim::RoundRobinPolicy>());
+  const auto steps = stepsUnder(pol, 3, 5);
+  EXPECT_EQ(steps.at(2), 3);
+  EXPECT_EQ(steps.at(0), 1);
+  EXPECT_EQ(steps.at(1), 1);
+}
+
+TEST(Policies, ScriptedSkipsNonRunnableEntries) {
+  RunConfig cfg;
+  cfg.n_plus_1 = 2;
+  cfg.fp = FailurePattern::withCrashes(2, {{0, 0}});  // p1 never runs
+  sim::Run run(cfg, [](Env& e, Value) { return stepper(e, 5); }, {0, 0});
+  sim::ScriptedPolicy pol({0, 0, 1, 0, 1},
+                          std::make_unique<sim::RoundRobinPolicy>());
+  const Time taken = run.scheduler().run(pol, 100);
+  const auto rr = run.finish(taken);
+  EXPECT_TRUE(rr.all_correct_done);  // p2 finished despite the dead script
+}
+
+TEST(Policies, EventualSynchronyStarvesBeforeGstOnly) {
+  // Before GST the rotating victim gets nothing within a stretch; after
+  // GST round-robin gives everyone an equal share.
+  const Time gst = 970;  // multiple of the default stretch period
+  EventuallySynchronousPolicy pol(gst, /*starve_stretch=*/97);
+  const auto steps = stepsUnder(pol, 3, gst + 300);
+  // Post-GST: 300 steps round-robin = 100 each; pre-GST shares vary but
+  // every process gets at least its post-GST quota.
+  for (const auto& [p, s] : steps) EXPECT_GE(s, 100);
+  Time total = 0;
+  for (const auto& [p, s] : steps) total += s;
+  EXPECT_EQ(total, gst + 300);
+}
+
+TEST(Policies, EventualSynchronyIsFairEventually) {
+  // A long run decides Fig. 1 even though Upsilon is fed by the same
+  // run's chaotic prefix (detector stabilizes mid-chaos).
+  const int n_plus_1 = 4;
+  const auto fp = FailurePattern::failureFree(n_plus_1);
+  const auto props = test::distinctProposals(n_plus_1);
+  RunConfig cfg;
+  cfg.n_plus_1 = n_plus_1;
+  cfg.fp = fp;
+  cfg.fd = fd::makeUpsilon(fp, 200, 3);
+  sim::Run run(cfg,
+               [](Env& e, Value v) { return core::upsilonSetAgreement(e, v); },
+               props);
+  EventuallySynchronousPolicy pol(/*gst=*/1500);
+  const Time taken = run.scheduler().run(pol, 2'000'000);
+  const auto rr = run.finish(taken);
+  const auto rep = core::checkKSetAgreement(rr, n_plus_1 - 1, props);
+  EXPECT_TRUE(rep.ok()) << rep.violation;
+}
+
+}  // namespace
+}  // namespace wfd

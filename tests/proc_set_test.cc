@@ -1,0 +1,88 @@
+// Unit tests for ProcSet, the process-set value type underlying every
+// failure detector range in the library.
+#include "common/proc_set.h"
+
+#include <gtest/gtest.h>
+
+namespace wfd {
+namespace {
+
+TEST(ProcSet, EmptyByDefault) {
+  ProcSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0);
+  EXPECT_EQ(s.min(), -1);
+}
+
+TEST(ProcSet, InsertContainsErase) {
+  ProcSet s;
+  s.insert(3);
+  s.insert(0);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_EQ(s.size(), 2);
+  s.erase(3);
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_EQ(s.size(), 1);
+}
+
+TEST(ProcSet, FullUniverse) {
+  const ProcSet s = ProcSet::full(5);
+  EXPECT_EQ(s.size(), 5);
+  for (Pid p = 0; p < 5; ++p) EXPECT_TRUE(s.contains(p));
+  EXPECT_FALSE(s.contains(5));
+}
+
+TEST(ProcSet, ComplementWithinUniverse) {
+  ProcSet s{0, 2};
+  const ProcSet c = s.complement(4);
+  EXPECT_EQ(c, (ProcSet{1, 3}));
+  EXPECT_EQ(c.complement(4), s);
+}
+
+TEST(ProcSet, SetAlgebra) {
+  const ProcSet a{0, 1, 2};
+  const ProcSet b{2, 3};
+  EXPECT_EQ(a.intersect(b), ProcSet{2});
+  EXPECT_EQ(a.unionWith(b), (ProcSet{0, 1, 2, 3}));
+  EXPECT_EQ(a.minus(b), (ProcSet{0, 1}));
+  EXPECT_TRUE((ProcSet{0, 1}).subsetOf(a));
+  EXPECT_FALSE(a.subsetOf(b));
+}
+
+TEST(ProcSet, MinAndMembersOrdered) {
+  const ProcSet s{5, 1, 3};
+  EXPECT_EQ(s.min(), 1);
+  EXPECT_EQ(s.members(), (std::vector<Pid>{1, 3, 5}));
+}
+
+TEST(ProcSet, ToStringIsOneBased) {
+  EXPECT_EQ((ProcSet{0, 2}).toString(), "{p1,p3}");
+  EXPECT_EQ(ProcSet{}.toString(), "{}");
+}
+
+TEST(ProcSet, SingletonFactory) {
+  const ProcSet s = ProcSet::singleton(7);
+  EXPECT_EQ(s.size(), 1);
+  EXPECT_EQ(s.min(), 7);
+}
+
+TEST(ProcSet, EqualityIsStructural) {
+  ProcSet a{1, 2};
+  ProcSet b;
+  b.insert(2);
+  b.insert(1);
+  EXPECT_EQ(a, b);
+  b.insert(0);
+  EXPECT_NE(a, b);
+}
+
+TEST(ProcSet, FullAtMaxWidth) {
+  const ProcSet s = ProcSet::full(kMaxProcs);
+  EXPECT_EQ(s.size(), kMaxProcs);
+  EXPECT_TRUE(s.contains(kMaxProcs - 1));
+}
+
+}  // namespace
+}  // namespace wfd

@@ -1,0 +1,154 @@
+// The explicit reductions of Sect. 4 and 5.3: each must make the emulated
+// output stabilize on a value satisfying the target detector's axioms.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace wfd {
+namespace {
+
+using core::checkEmulatedOmega;
+using core::checkEmulatedUpsilonF;
+using sim::Env;
+using sim::FailurePattern;
+using sim::RunConfig;
+using sim::RunResult;
+
+RunResult runReduction(const sim::AlgoFn& algo, int n_plus_1,
+                       const FailurePattern& fp, fd::FdPtr fd,
+                       std::uint64_t seed, Time steps = 60'000) {
+  RunConfig cfg;
+  cfg.n_plus_1 = n_plus_1;
+  cfg.fp = fp;
+  cfg.fd = std::move(fd);
+  cfg.seed = seed;
+  cfg.max_steps = steps;
+  return sim::runTask(cfg, algo,
+                      std::vector<Value>(static_cast<std::size_t>(n_plus_1), 0));
+}
+
+// ---- Omega^k -> Upsilon^{n+1-k} by complementation (Sect. 4 / 5.3) ----
+
+TEST(OmegaKToUpsilon, ComplementEmulatesUpsilon) {
+  // Theorem 1, easy direction: Omega_n -> Upsilon.
+  const int n_plus_1 = 4;
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const auto fp = FailurePattern::random(n_plus_1, n_plus_1 - 1, 50, seed);
+    const auto rr = runReduction(
+        [](Env& e, Value) { return core::omegaKToUpsilonF(e); }, n_plus_1, fp,
+        fd::makeOmegaK(fp, n_plus_1 - 1, 120, seed), seed);
+    const auto rep = checkEmulatedUpsilonF(rr, n_plus_1 - 1);
+    EXPECT_TRUE(rep.ok()) << "seed " << seed << ": " << rep.violation;
+  }
+}
+
+TEST(OmegaKToUpsilon, OmegaFToUpsilonFAcrossF) {
+  const int n_plus_1 = 5;
+  for (int f = 1; f <= 4; ++f) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      const auto fp = FailurePattern::random(n_plus_1, f, 50, seed * 5 + f);
+      const auto rr = runReduction(
+          [](Env& e, Value) { return core::omegaKToUpsilonF(e); }, n_plus_1,
+          fp, fd::makeOmegaK(fp, f, 100, seed), seed);
+      const auto rep = checkEmulatedUpsilonF(rr, f);
+      EXPECT_TRUE(rep.ok()) << "f=" << f << " seed " << seed << ": "
+                            << rep.violation;
+    }
+  }
+}
+
+// ---- Upsilon <-> Omega for two processes (Sect. 4) ----
+
+TEST(TwoProcs, UpsilonToOmega) {
+  const int n_plus_1 = 2;
+  // All three failure patterns of a 2-process system.
+  const std::vector<FailurePattern> fps = {
+      FailurePattern::failureFree(2),
+      FailurePattern::withCrashes(2, {{0, 40}}),
+      FailurePattern::withCrashes(2, {{1, 40}}),
+  };
+  for (const auto& fp : fps) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      const auto rr = runReduction(
+          [](Env& e, Value) { return core::upsilonToOmegaTwoProcs(e); },
+          n_plus_1, fp, fd::makeUpsilon(fp, 90, seed), seed);
+      const auto rep = checkEmulatedOmega(rr);
+      EXPECT_TRUE(rep.ok()) << "correct=" << fp.correct().toString()
+                            << " seed " << seed << ": " << rep.violation;
+    }
+  }
+}
+
+TEST(TwoProcs, OmegaToUpsilonRoundTrip) {
+  // Omega -> Upsilon via complementation in the 2-process system: the
+  // Sect. 4 equivalence, other direction.
+  const auto fp = FailurePattern::withCrashes(2, {{1, 30}});
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto rr = runReduction(
+        [](Env& e, Value) { return core::omegaKToUpsilonF(e); }, 2, fp,
+        fd::makeOmega(fp, 60, seed), seed);
+    const auto rep = checkEmulatedUpsilonF(rr, 1);
+    EXPECT_TRUE(rep.ok()) << rep.violation;
+  }
+}
+
+// ---- Upsilon^1 -> Omega in E_1 (Sect. 5.3) ----
+
+TEST(Upsilon1ToOmega, ElectsCorrectLeaderInE1) {
+  const int n_plus_1 = 4;
+  // Case A: Upsilon^1 stabilizes on a proper subset (size n): the
+  // complement is the leader.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto fp = FailurePattern::failureFree(n_plus_1);
+    const auto rr = runReduction(
+        [](Env& e, Value) { return core::upsilon1ToOmega(e); }, n_plus_1, fp,
+        fd::makeUpsilonF(fp, 1, 100, seed), seed);
+    const auto rep = checkEmulatedOmega(rr);
+    EXPECT_TRUE(rep.ok()) << "seed " << seed << ": " << rep.violation;
+  }
+}
+
+TEST(Upsilon1ToOmega, TimestampFallbackWhenUpsilonOutputsPi) {
+  const int n_plus_1 = 4;
+  // Case B: exactly one faulty process and Upsilon^1 stuck on Pi — the
+  // reduction must exclude the faulty process via timestamps.
+  for (Pid victim = 0; victim < n_plus_1; ++victim) {
+    const auto fp = FailurePattern::withCrashes(n_plus_1, {{victim, 200}});
+    const auto upsilon_pi = fd::makeScripted(
+        "Upsilon1=Pi", [n_plus_1](Pid, Time) { return ProcSet::full(n_plus_1); },
+        0);
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const auto rr = runReduction(
+          [](Env& e, Value) { return core::upsilon1ToOmega(e); }, n_plus_1,
+          fp, upsilon_pi, seed);
+      const auto rep = checkEmulatedOmega(rr);
+      EXPECT_TRUE(rep.ok()) << "victim p" << victim + 1 << " seed " << seed
+                            << ": " << rep.violation;
+      EXPECT_FALSE(rep.stable_value.contains(victim));
+    }
+  }
+}
+
+// ---- Chained: Omega^f -> Upsilon^f -> (f=1) Omega ----
+
+TEST(Chained, OmegaOneToUpsilonOneToOmega) {
+  // Run the complement reduction on Omega^1, feed the published outputs
+  // conceptually through Upsilon^1 -> Omega: with f = 1 both ends are
+  // Omega, so the stable emulated Upsilon^1 output's complement must be a
+  // correct leader.
+  const int n_plus_1 = 3;
+  const auto fp = FailurePattern::withCrashes(n_plus_1, {{2, 50}});
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto rr = runReduction(
+        [](Env& e, Value) { return core::omegaKToUpsilonF(e); }, n_plus_1, fp,
+        fd::makeOmega(fp, 80, seed), seed);
+    const auto rep = checkEmulatedUpsilonF(rr, 1);
+    ASSERT_TRUE(rep.ok()) << rep.violation;
+    const ProcSet leader = rep.stable_value.complement(n_plus_1);
+    ASSERT_EQ(leader.size(), 1);
+    EXPECT_TRUE(fp.correct().contains(leader.min()));
+  }
+}
+
+}  // namespace
+}  // namespace wfd

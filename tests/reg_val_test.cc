@@ -1,0 +1,83 @@
+// RegVal: the universal register value type (deep equality, tuple boxing,
+// rendering). Registers must hold every shape the algorithms store.
+#include <gtest/gtest.h>
+
+#include "common/reg_val.h"
+
+namespace wfd {
+namespace {
+
+TEST(RegVal, BottomByDefault) {
+  RegVal v;
+  EXPECT_TRUE(v.isBottom());
+  EXPECT_FALSE(v.isInt());
+  EXPECT_EQ(v.toString(), "⊥");
+}
+
+TEST(RegVal, IntRoundTrip) {
+  RegVal v{Value{42}};
+  ASSERT_TRUE(v.isInt());
+  EXPECT_EQ(v.asInt(), 42);
+  EXPECT_EQ(v.toString(), "42");
+}
+
+TEST(RegVal, BoolIsNotInt) {
+  RegVal v{true};
+  EXPECT_TRUE(v.isBool());
+  EXPECT_FALSE(v.isInt());
+  EXPECT_TRUE(v.asBool());
+}
+
+TEST(RegVal, ProcSetRoundTrip) {
+  RegVal v{ProcSet{0, 2}};
+  ASSERT_TRUE(v.isSet());
+  EXPECT_EQ(v.asSet(), (ProcSet{0, 2}));
+}
+
+TEST(RegVal, TupleDeepEquality) {
+  auto mk = [] {
+    std::vector<RegVal> inner;
+    inner.emplace_back(Value{1});
+    inner.emplace_back(ProcSet{1});
+    std::vector<RegVal> outer;
+    outer.emplace_back(true);
+    outer.push_back(RegVal::tuple(std::move(inner)));
+    return RegVal::tuple(std::move(outer));
+  };
+  EXPECT_EQ(mk(), mk());
+}
+
+TEST(RegVal, TupleInequalityByElement) {
+  std::vector<RegVal> a;
+  a.emplace_back(Value{1});
+  std::vector<RegVal> b;
+  b.emplace_back(Value{2});
+  EXPECT_NE(RegVal::tuple(std::move(a)), RegVal::tuple(std::move(b)));
+}
+
+TEST(RegVal, DifferentKindsNeverEqual) {
+  EXPECT_NE(RegVal{Value{1}}, RegVal{true});
+  EXPECT_NE(RegVal{}, RegVal{Value{0}});
+  EXPECT_NE(RegVal{ProcSet{}}, RegVal{});
+}
+
+TEST(RegVal, BottomsAreEqual) { EXPECT_EQ(RegVal{}, RegVal{}); }
+
+TEST(RegVal, TupleRendering) {
+  std::vector<RegVal> t;
+  t.emplace_back(Value{3});
+  t.emplace_back(ProcSet{0});
+  EXPECT_EQ(RegVal::tuple(std::move(t)).toString(), "(3, {p1})");
+}
+
+TEST(RegVal, CopiesAreIndependentValues) {
+  std::vector<RegVal> t;
+  t.emplace_back(Value{5});
+  const RegVal a = RegVal::tuple(std::move(t));
+  const RegVal b = a;  // shares the immutable payload
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b.asTuple()[0].asInt(), 5);
+}
+
+}  // namespace
+}  // namespace wfd

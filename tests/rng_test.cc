@@ -1,0 +1,87 @@
+// Determinism and distribution sanity for the simulator's randomness.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+
+namespace wfd {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  bool diverged = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto x = a.next();
+    EXPECT_EQ(x, b.next());
+    if (x != c.next()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(1);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(r.below(7), 7u);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng r(2);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1'000; ++i) seen.insert(r.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1'000; ++i) {
+    const auto v = r.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Rng r(5);
+  int hits = 0;
+  const int trials = 20'000;
+  for (int i = 0; i < trials; ++i) {
+    if (r.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.02);
+}
+
+TEST(HashedUniform, IsAPureFunction) {
+  for (std::uint64_t a = 0; a < 10; ++a) {
+    for (std::uint64_t b = 0; b < 10; ++b) {
+      EXPECT_EQ(hashedUniform(42, a, b, 100), hashedUniform(42, a, b, 100));
+    }
+  }
+}
+
+TEST(HashedUniform, StaysBelowBound) {
+  for (std::uint64_t i = 0; i < 5'000; ++i) {
+    EXPECT_LT(hashedUniform(9, i, i * 3, 13), 13u);
+  }
+}
+
+TEST(HashedUniform, VariesWithInputs) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 200; ++i) seen.insert(hashedUniform(1, i, 0, 64));
+  EXPECT_GT(seen.size(), 30u);
+}
+
+}  // namespace
+}  // namespace wfd

@@ -1,0 +1,193 @@
+// The simulation runtime itself: step semantics, crash handling,
+// scheduling policies, determinism, trace bookkeeping, object table.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace wfd {
+namespace {
+
+using sim::Coro;
+using sim::Env;
+using sim::FailurePattern;
+using sim::ObjKey;
+using sim::RunConfig;
+using sim::Unit;
+
+Coro<Unit> counterLoop(Env& env, int iterations) {
+  const sim::ObjId r = env.reg(ObjKey{"cnt", env.me()});
+  for (int i = 1; i <= iterations; ++i) {
+    co_await env.write(r, RegVal(static_cast<Value>(i)));
+  }
+  env.decide(iterations);
+  co_return Unit{};
+}
+
+TEST(Scheduler, OneOpPerStep) {
+  RunConfig cfg;
+  cfg.n_plus_1 = 1;
+  const auto rr = sim::runTask(
+      cfg, [](Env& e, Value) { return counterLoop(e, 10); }, {0});
+  ASSERT_TRUE(rr.all_correct_done);
+  // 10 writes == 10 steps: the prologue folds into the first step.
+  EXPECT_EQ(rr.steps, 10);
+}
+
+TEST(Scheduler, CrashedProcessTakesNoStepsAfterCrashTime) {
+  RunConfig cfg;
+  cfg.n_plus_1 = 2;
+  cfg.fp = FailurePattern::withCrashes(2, {{1, 5}});
+  const auto rr = sim::runTask(
+      cfg, [](Env& e, Value) { return counterLoop(e, 100); }, {0, 0});
+  // p2's register shows at most 5 completed writes.
+  auto& tbl = rr.world->objects();
+  const RegVal v = tbl.read(tbl.regId(ObjKey{"cnt", 1}));
+  ASSERT_FALSE(v.isBottom());
+  EXPECT_LE(v.asInt(), 5);
+  // p1 is correct and finished.
+  EXPECT_TRUE(rr.decisions.contains(0));
+  EXPECT_FALSE(rr.decisions.contains(1));
+}
+
+TEST(Scheduler, RoundRobinIsFair) {
+  RunConfig cfg;
+  cfg.n_plus_1 = 3;
+  cfg.policy = sim::PolicyKind::kRoundRobin;
+  const auto rr = sim::runTask(
+      cfg, [](Env& e, Value) { return counterLoop(e, 7); }, {0, 0, 0});
+  ASSERT_TRUE(rr.all_correct_done);
+  EXPECT_EQ(rr.steps, 21);
+}
+
+TEST(Scheduler, DeterministicAcrossRuns) {
+  auto go = [] {
+    RunConfig cfg;
+    cfg.n_plus_1 = 4;
+    cfg.seed = 99;
+    return sim::runTask(
+        cfg, [](Env& e, Value) { return counterLoop(e, 50); }, {0, 0, 0, 0});
+  };
+  const auto a = go();
+  const auto b = go();
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.trace().events().size(), b.trace().events().size());
+}
+
+TEST(Scheduler, SeedChangesSchedule) {
+  auto go = [](std::uint64_t seed) {
+    RunConfig cfg;
+    cfg.n_plus_1 = 4;
+    cfg.seed = seed;
+    auto rr = sim::runTask(
+        cfg, [](Env& e, Value) { return counterLoop(e, 50); }, {0, 0, 0, 0});
+    // Fingerprint: decide times.
+    std::vector<Time> t;
+    for (const auto& e : rr.trace().ofKind(sim::EventKind::kDecide)) {
+      t.push_back(e.time);
+    }
+    return t;
+  };
+  EXPECT_NE(go(1), go(2));
+}
+
+TEST(Scheduler, StepBudgetStopsRunawayRuns) {
+  RunConfig cfg;
+  cfg.n_plus_1 = 2;
+  cfg.max_steps = 500;
+  const auto rr = sim::runTask(
+      cfg,
+      [](Env& e, Value) -> Coro<Unit> {
+        const sim::ObjId r = e.reg(ObjKey{"spin"});
+        for (;;) co_await e.read(r);  // never terminates
+      },
+      {0, 0});
+  EXPECT_FALSE(rr.all_correct_done);
+  EXPECT_EQ(rr.steps, 500);
+}
+
+TEST(Scheduler, ExceptionsInAutomataPropagate) {
+  RunConfig cfg;
+  cfg.n_plus_1 = 1;
+  EXPECT_THROW(
+      sim::runTask(
+          cfg,
+          [](Env& e, Value) -> Coro<Unit> {
+            co_await e.yield();
+            throw std::runtime_error("automaton bug");
+          },
+          {0}),
+      std::runtime_error);
+}
+
+TEST(ObjectTable, AutoVivifiesAndIsStableAcrossProcesses) {
+  sim::ObjectTable tbl;
+  const auto a = tbl.regId(ObjKey{"x", 1, 2});
+  const auto b = tbl.regId(ObjKey{"x", 1, 2});
+  const auto c = tbl.regId(ObjKey{"x", 1, 3});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(tbl.read(a).isBottom());
+  tbl.write(a, RegVal(Value{7}));
+  EXPECT_EQ(tbl.read(b).asInt(), 7);
+}
+
+TEST(ObjectTable, SnapshotSlotsInitializeBottom) {
+  sim::ObjectTable tbl;
+  const auto s = tbl.snapId(ObjKey{"snap"}, 4);
+  EXPECT_EQ(tbl.scan(s).size(), 4u);
+  for (const auto& v : tbl.scan(s)) EXPECT_TRUE(v.isBottom());
+  tbl.update(s, 2, RegVal(Value{5}));
+  EXPECT_EQ(tbl.scan(s)[2].asInt(), 5);
+}
+
+TEST(ObjKey, AppendBuildsDistinctNames) {
+  ObjKey k{"conv", 3, 1};
+  ObjKey a = k;
+  a.append(".A");
+  ObjKey b = k;
+  b.append(".B");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.toString(), "conv.A[3][1]");
+  ObjKey cell = a;
+  cell.append("#cell");
+  cell.append(12);
+  EXPECT_EQ(cell.toString(), "conv.A#cell12[3][1]");
+}
+
+TEST(Trace, PublishedAtTracksLatestPerProcess) {
+  sim::Trace tr;
+  tr.record(1, 0, sim::EventKind::kPublish, "", RegVal(Value{1}));
+  tr.record(5, 0, sim::EventKind::kPublish, "", RegVal(Value{2}));
+  tr.record(7, 1, sim::EventKind::kPublish, "", RegVal(Value{3}));
+  const auto at4 = tr.publishedAt(4, 2);
+  EXPECT_EQ(at4[0].asInt(), 1);
+  EXPECT_TRUE(at4[1].isBottom());
+  const auto at9 = tr.publishedAt(9, 2);
+  EXPECT_EQ(at9[0].asInt(), 2);
+  EXPECT_EQ(at9[1].asInt(), 3);
+}
+
+TEST(FailurePattern, EnvironmentMembership) {
+  const auto fp = FailurePattern::withCrashes(5, {{0, 10}, {3, 20}});
+  EXPECT_FALSE(fp.inEnvironment(1));
+  EXPECT_TRUE(fp.inEnvironment(2));
+  EXPECT_TRUE(fp.inEnvironment(4));
+  EXPECT_EQ(fp.faulty(), (ProcSet{0, 3}));
+  EXPECT_EQ(fp.crashedBy(9), ProcSet{});
+  EXPECT_EQ(fp.crashedBy(10), ProcSet{0});
+  EXPECT_EQ(fp.crashedBy(25), (ProcSet{0, 3}));
+}
+
+TEST(FailurePattern, RandomRespectsBounds) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const auto fp = FailurePattern::random(6, 3, 100, seed);
+    EXPECT_LE(fp.faulty().size(), 3);
+    EXPECT_FALSE(fp.correct().empty());
+    for (Pid p : fp.faulty().members()) {
+      EXPECT_LE(fp.crashTime(p), 100);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wfd

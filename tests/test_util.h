@@ -1,0 +1,26 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <vector>
+
+#include "wfd.h"
+
+namespace wfd::test {
+
+// Distinct proposals 100, 101, ..., so every decision is attributable.
+inline std::vector<Value> distinctProposals(int n_plus_1) {
+  std::vector<Value> v(static_cast<std::size_t>(n_plus_1));
+  for (int i = 0; i < n_plus_1; ++i) v[static_cast<std::size_t>(i)] = 100 + i;
+  return v;
+}
+
+// Proposals with exactly `k` distinct values (cyclic assignment).
+inline std::vector<Value> proposalsWithDistinct(int n_plus_1, int k) {
+  std::vector<Value> v(static_cast<std::size_t>(n_plus_1));
+  for (int i = 0; i < n_plus_1; ++i) {
+    v[static_cast<std::size_t>(i)] = 100 + (i % k);
+  }
+  return v;
+}
+
+}  // namespace wfd::test
