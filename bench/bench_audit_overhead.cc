@@ -1,0 +1,98 @@
+// Audit overhead: steps/s with the step auditor off vs attached.
+//
+// EXPERIMENTS.md quotes the simulator's raw step throughput; the step
+// auditor (sim/step_audit.h) hooks every scheduler resume, every
+// World::execute, and every object-table access, so its cost must be
+// measured before WFD_AUDIT can be recommended as an always-on CI
+// setting. The workload is a tight register ping-pong: the highest
+// op-per-step density the model allows, i.e. the auditor's worst case.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace wfd;
+using sim::AuditMode;
+using sim::Env;
+using sim::RunConfig;
+
+sim::Coro<sim::Unit> pingPong(Env& env, int iters) {
+  const ObjId mine = env.reg(sim::ObjKey{"pp", env.me()});
+  const ObjId peer =
+      env.reg(sim::ObjKey{"pp", (env.me() + 1) % env.nProcs()});
+  for (int i = 0; i < iters; ++i) {
+    co_await env.write(mine, RegVal(Value{i}));
+    co_await env.read(peer);
+  }
+  co_return sim::Unit{};
+}
+
+struct Sample {
+  Time steps = 0;
+  double seconds = 0;
+  [[nodiscard]] double stepsPerSec() const {
+    return seconds > 0 ? static_cast<double>(steps) / seconds : 0;
+  }
+};
+
+Sample timedRun(int n_plus_1, int iters, std::optional<AuditMode> audit) {
+  RunConfig cfg;
+  cfg.n_plus_1 = n_plus_1;
+  cfg.seed = 99;
+  cfg.max_steps = 100'000'000;
+  cfg.audit = audit;
+  const auto algo = [iters](Env& e, Value) { return pingPong(e, iters); };
+  const std::vector<Value> props(static_cast<std::size_t>(n_plus_1), 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto rr = sim::runTask(cfg, algo, props);
+  const auto t1 = std::chrono::steady_clock::now();
+  Sample s;
+  s.steps = rr.steps;
+  s.seconds = std::chrono::duration<double>(t1 - t0).count();
+  if (audit.has_value() &&
+      (rr.audit() == nullptr || !rr.audit()->clean())) {
+    std::puts("ERROR: audited bench run reported violations");
+  }
+  return s;
+}
+
+Sample best(int n_plus_1, int iters, std::optional<AuditMode> audit,
+            int reps) {
+  Sample b;
+  for (int r = 0; r < reps; ++r) {
+    const Sample s = timedRun(n_plus_1, iters, audit);
+    if (b.seconds == 0 || s.stepsPerSec() > b.stepsPerSec()) b = s;
+  }
+  return b;
+}
+
+std::string mps(double steps_per_sec) {
+  return bench::fmt(steps_per_sec / 1e6) + "M";
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("step auditor overhead (register ping-pong workload)");
+  bench::Table t({"n+1", "steps", "off steps/s", "collect steps/s",
+                  "throw steps/s", "collect overhead"});
+  const int kReps = 3;
+  for (const int n_plus_1 : {2, 4, 8}) {
+    const int iters = 400'000 / n_plus_1;  // ~800k steps per run
+    const Sample off = best(n_plus_1, iters, std::nullopt, kReps);
+    const Sample col = best(n_plus_1, iters, AuditMode::kCollect, kReps);
+    const Sample thr = best(n_plus_1, iters, AuditMode::kThrow, kReps);
+    const double overhead =
+        off.stepsPerSec() > 0
+            ? (off.stepsPerSec() / col.stepsPerSec() - 1.0) * 100.0
+            : 0;
+    t.addRow({bench::fmt(n_plus_1), bench::fmt(off.steps),
+              mps(off.stepsPerSec()), mps(col.stepsPerSec()),
+              mps(thr.stepsPerSec()), bench::fmt(overhead) + "%"});
+  }
+  t.print();
+  std::puts("overhead = off/collect - 1; best of 3 runs per cell");
+  return 0;
+}

@@ -39,6 +39,26 @@ bool operator==(const RegVal& a, const RegVal& b) {
   return true;
 }
 
+std::uint64_t RegVal::hash64() const {
+  // Alternative index seeds the hash so 0, false, {} and ⊥ all differ.
+  const auto mix = [](std::uint64_t h, std::uint64_t x) {
+    h ^= x + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    h *= 0xFF51AFD7ED558CCDULL;
+    h ^= h >> 33;
+    return h;
+  };
+  std::uint64_t h = mix(0xCBF29CE484222325ULL, v_.index());
+  if (isInt()) return mix(h, static_cast<std::uint64_t>(asInt()));
+  if (isBool()) return mix(h, asBool() ? 2 : 1);
+  if (isSet()) return mix(h, asSet().bits());
+  if (isTuple()) {
+    const auto& t = asTuple();
+    h = mix(h, t.size());
+    for (const auto& e : t) h = mix(h, e.hash64());
+  }
+  return h;
+}
+
 std::string RegVal::toString() const {
   if (isBottom()) return "⊥";
   if (isInt()) return std::to_string(asInt());

@@ -62,6 +62,11 @@ class RegVal {
 
   [[nodiscard]] std::string toString() const;
 
+  // Stable structural 64-bit hash (tuples hashed element-wise). Used by
+  // the trace hash (sim/trace.h) — must depend only on the value, never
+  // on addresses, so that run hashes replay across processes/platforms.
+  [[nodiscard]] std::uint64_t hash64() const;
+
   // Deep structural equality (tuples compared element-wise).
   friend bool operator==(const RegVal& a, const RegVal& b);
 

@@ -26,6 +26,7 @@
 #include <cassert>
 #include <coroutine>
 #include <exception>
+#include <functional>
 #include <optional>
 #include <utility>
 
@@ -49,6 +50,12 @@ struct ProcCtx {
   bool done = false;
   bool crashed = false;
   Time steps = 0;  // steps this process has taken
+  // Model-conformance hook (sim/step_audit.h): when set by the scheduler
+  // of an audited world, OpAwait::await_suspend reports every requested
+  // operation (and whether a previous request was still pending — a
+  // violation of the one-op-per-step model) before the scheduler executes
+  // it. A std::function keeps coro.h free of the auditor's type.
+  std::function<void(const Op&, bool already_pending)> on_op_requested;
 };
 
 // The process the scheduler is currently resuming (single-threaded).
@@ -62,6 +69,7 @@ struct OpAwait {
   void await_suspend(std::coroutine_handle<> h) {
     ProcCtx* c = currentProc();
     assert(c != nullptr && "op awaited outside a scheduled process");
+    if (c->on_op_requested) c->on_op_requested(op, c->pending.has_value());
     c->pending = std::move(op);
     c->resume_point = h;
     // Returning void unwinds the whole resume() call back to the scheduler.

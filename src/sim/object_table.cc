@@ -80,30 +80,35 @@ ObjId ObjectTable::consId(const ObjKey& key, int ports) {
 }
 
 const RegVal& ObjectTable::read(ObjId id) const {
+  observe(id, ObjectAccess::kRead);
   const auto& obj = objects_.at(static_cast<std::size_t>(id));
   assert(obj.kind == Kind::kRegister);
   return obj.reg;
 }
 
 void ObjectTable::write(ObjId id, RegVal v) {
+  observe(id, ObjectAccess::kWrite);
   auto& obj = objects_.at(static_cast<std::size_t>(id));
   assert(obj.kind == Kind::kRegister);
   obj.reg = std::move(v);
 }
 
 const std::vector<RegVal>& ObjectTable::scan(ObjId id) const {
+  observe(id, ObjectAccess::kScan);
   const auto& obj = objects_.at(static_cast<std::size_t>(id));
   assert(obj.kind == Kind::kSnapshot);
   return obj.slots;
 }
 
 void ObjectTable::update(ObjId id, int slot, RegVal v) {
+  observe(id, ObjectAccess::kUpdate);
   auto& obj = objects_.at(static_cast<std::size_t>(id));
   assert(obj.kind == Kind::kSnapshot);
   obj.slots.at(static_cast<std::size_t>(slot)) = std::move(v);
 }
 
 RegVal ObjectTable::propose(ObjId id, Pid proposer, RegVal v) {
+  observe(id, ObjectAccess::kPropose);
   auto& obj = objects_.at(static_cast<std::size_t>(id));
   assert(obj.kind == Kind::kConsensus);
   if (!obj.proposers.contains(proposer)) {
@@ -114,6 +119,31 @@ RegVal ObjectTable::propose(ObjId id, Pid proposer, RegVal v) {
   }
   if (obj.reg.isBottom()) obj.reg = std::move(v);  // first proposal wins
   return obj.reg;
+}
+
+ObjectTable::Kind ObjectTable::kindOf(ObjId id) const {
+  assert(knows(id));
+  return objects_[static_cast<std::size_t>(id)].kind;
+}
+
+int ObjectTable::slotCount(ObjId id) const {
+  assert(knows(id));
+  return static_cast<int>(objects_[static_cast<std::size_t>(id)].slots.size());
+}
+
+int ObjectTable::portLimit(ObjId id) const {
+  assert(knows(id));
+  return objects_[static_cast<std::size_t>(id)].ports;
+}
+
+int ObjectTable::proposerCount(ObjId id) const {
+  assert(knows(id));
+  return objects_[static_cast<std::size_t>(id)].proposers.size();
+}
+
+bool ObjectTable::hasProposed(ObjId id, Pid p) const {
+  assert(knows(id));
+  return objects_[static_cast<std::size_t>(id)].proposers.contains(p);
 }
 
 }  // namespace wfd::sim

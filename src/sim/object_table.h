@@ -54,8 +54,25 @@ struct ObjKey {
 };
 static_assert(std::is_trivially_copyable_v<ObjKey>);
 
+// How an object was touched — reported to the access observer below.
+enum class ObjectAccess { kRead, kWrite, kScan, kUpdate, kPropose };
+
 class ObjectTable {
  public:
+  enum class Kind { kRegister, kSnapshot, kConsensus };
+
+  // Observer of every step-costing primitive access (read/write/scan/
+  // update/propose; naming is free and unobserved). The step auditor
+  // (sim/step_audit.h) implements this to prove that all shared access
+  // goes through the atomic-step machinery; the table itself stays
+  // behavior-identical whether or not an observer is installed.
+  class AccessObserver {
+   public:
+    virtual ~AccessObserver() = default;
+    virtual void onObjectAccess(ObjId id, ObjectAccess access) = 0;
+  };
+  void setObserver(AccessObserver* obs) { observer_ = obs; }
+
   // Resolve-or-create. Registers start at ⊥; snapshot objects start with
   // `slots` ⊥ cells; consensus objects start undecided with a port limit
   // of `ports` distinct proposers. Requesting an existing key with a
@@ -75,8 +92,17 @@ class ObjectTable {
 
   [[nodiscard]] std::size_t objectCount() const { return objects_.size(); }
 
+  // ---- Metadata for auditors (free, never observed) ----
+  [[nodiscard]] bool knows(ObjId id) const {
+    return id >= 0 && static_cast<std::size_t>(id) < objects_.size();
+  }
+  [[nodiscard]] Kind kindOf(ObjId id) const;
+  [[nodiscard]] int slotCount(ObjId id) const;      // snapshots
+  [[nodiscard]] int portLimit(ObjId id) const;      // consensus
+  [[nodiscard]] int proposerCount(ObjId id) const;  // consensus
+  [[nodiscard]] bool hasProposed(ObjId id, Pid p) const;
+
  private:
-  enum class Kind { kRegister, kSnapshot, kConsensus };
   struct Object {
     Kind kind = Kind::kRegister;
     RegVal reg;                    // register value / consensus winner
@@ -84,8 +110,12 @@ class ObjectTable {
     ProcSet proposers;             // consensus: who proposed so far
     int ports = 0;                 // consensus: max distinct proposers
   };
+  void observe(ObjId id, ObjectAccess access) const {
+    if (observer_ != nullptr) observer_->onObjectAccess(id, access);
+  }
   std::map<ObjKey, ObjId> ids_;
   std::vector<Object> objects_;
+  AccessObserver* observer_ = nullptr;
 };
 
 }  // namespace wfd::sim

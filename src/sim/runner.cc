@@ -1,9 +1,28 @@
 #include "sim/runner.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <set>
 
 namespace wfd::sim {
+
+namespace {
+
+// Audit mode for a run whose config left `audit` unset: the WFD_AUDIT
+// environment variable turns auditing on process-wide, which is how the
+// whole tier-1 suite and every bench harness get re-run under the
+// auditor without per-call-site changes.
+std::optional<AuditMode> envAuditMode() {
+  const char* e = std::getenv("WFD_AUDIT");
+  if (e == nullptr) return std::nullopt;
+  if (std::strcmp(e, "collect") == 0) return AuditMode::kCollect;
+  if (std::strcmp(e, "throw") == 0) return AuditMode::kThrow;
+  return std::nullopt;
+}
+
+}  // namespace
 
 int RunResult::distinctDecisions() const {
   std::set<Value> vals;
@@ -19,6 +38,9 @@ Run::Run(const RunConfig& cfg, const AlgoFn& algo,
   assert(fp.nProcs() == cfg.n_plus_1);
   world_ = std::make_unique<World>(cfg.n_plus_1, std::move(fp), cfg.fd,
                                    cfg.flavor);
+  const std::optional<AuditMode> audit =
+      cfg.audit.has_value() ? cfg.audit : envAuditMode();
+  if (audit.has_value()) world_->enableAudit(*audit);
   sched_ = std::make_unique<Scheduler>(world_.get(), cfg.seed ^ 0x5EED);
   for (Pid p = 0; p < cfg.n_plus_1; ++p) {
     envs_.emplace_back(world_.get(), p);
@@ -30,6 +52,13 @@ RunResult Run::finish(Time steps_taken) {
   RunResult res;
   res.steps = steps_taken;
   res.all_correct_done = sched_->allCorrectDone();
+  // Collect-mode audits surface their findings even if nobody inspects
+  // the result: a silent model violation is exactly what the auditor
+  // exists to prevent.
+  if (const StepAuditor* a = world_->auditor(); a != nullptr && !a->clean()) {
+    std::fprintf(stderr, "%s\n", a->report().c_str());
+  }
+  world_->endAuditObservation();
   for (const auto& e : world_->trace().ofKind(EventKind::kDecide)) {
     res.decisions[e.pid] = e.value.asInt();
   }

@@ -26,6 +26,11 @@ struct RunConfig {
   Time max_steps = 2'000'000;
   SnapshotFlavor flavor = SnapshotFlavor::kNative;
   PolicyKind policy = PolicyKind::kRandom;
+  // Model-conformance auditing (sim/step_audit.h). Unset = consult the
+  // WFD_AUDIT environment variable ("collect" | "throw"; anything else
+  // or unset = off), so whole suites/harnesses can be re-run audited
+  // without touching call sites: `WFD_AUDIT=throw ctest`.
+  std::optional<AuditMode> audit;
 };
 
 // A process automaton: given its Env and its input value, run forever or
@@ -39,6 +44,9 @@ struct RunResult {
   std::unique_ptr<World> world;       // retains trace + final memory state
 
   [[nodiscard]] const Trace& trace() const { return world->trace(); }
+
+  // The attached step auditor, if the run was audited (null otherwise).
+  [[nodiscard]] const StepAuditor* audit() const { return world->auditor(); }
 
   // Distinct decided values (the k of k-set-agreement actually achieved).
   [[nodiscard]] int distinctDecisions() const;

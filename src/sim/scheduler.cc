@@ -90,9 +90,26 @@ bool Scheduler::allCorrectDone() const {
 
 void Scheduler::step(Pid p) {
   auto& slot = *slots_.at(static_cast<std::size_t>(p));
+  // Audit hooks come first: in kThrow mode the auditor must get to
+  // report a crashed-process step before the asserts below halt us.
+  StepAuditor* const audit = world_->auditor();
+  if (audit != nullptr) {
+    if (!slot.ctx.on_op_requested) {
+      slot.ctx.on_op_requested = [audit, p](const Op& op, bool pending) {
+        audit->onOpRequested(p, op, pending);
+      };
+    }
+    audit->onStepBegin(p);
+  }
   assert(!slot.ctx.done);
   assert(world_->pattern().crashTime(p) > world_->now());
 
+  // Reset the current-process pointer even if an audit error is thrown
+  // mid-step (kThrow mode), so a caught StepAuditError leaves the
+  // scheduler reusable for inspection.
+  struct CurrentProcGuard {
+    ~CurrentProcGuard() { currentProc() = nullptr; }
+  } guard;
   currentProc() = &slot.ctx;
   // Flat resume loop: run handles until the process requests its next
   // atomic operation or its top-level coroutine completes. Child starts
@@ -121,6 +138,7 @@ void Scheduler::step(Pid p) {
 
   ++slot.ctx.steps;
   world_->advanceClock();
+  if (audit != nullptr) audit->onStepEnd(p);
 
   if (slot.coro.done()) {
     slot.ctx.done = true;

@@ -21,6 +21,21 @@ std::vector<RegVal> Trace::publishedAt(Time t, int n_plus_1) const {
   return out;
 }
 
+std::uint64_t Trace::hash64() const {
+  std::uint64_t h = op_digest_;
+  h = mix(h, ops_mixed_);
+  h = mix(h, events_.size());
+  for (const auto& e : events_) {
+    h = mix(h, static_cast<std::uint64_t>(e.time));
+    h = mix(h, static_cast<std::uint64_t>(e.pid) + 1);
+    h = mix(h, static_cast<std::uint64_t>(e.kind) + 1);
+    h = mix(h, e.label.size());
+    for (char c : e.label) h = mix(h, static_cast<unsigned char>(c));
+    h = mix(h, e.value.hash64());
+  }
+  return h;
+}
+
 std::string Trace::toString() const {
   std::string s;
   for (const auto& e : events_) {

@@ -5,8 +5,18 @@
 // distributed variable "D-output"), plus free-form diagnostic events. The
 // correctness checkers in core/checkers.h consume traces, so algorithm
 // code never needs to be instrumented for a specific property.
+//
+// The trace also carries a stable 64-bit hash of the run (hash64): an
+// FNV-1a fold over every executed atomic operation (fed by World::execute
+// via mixOp) and every recorded event. Two runs of the same configuration
+// must produce the same hash — the determinism contract of DESIGN.md §5.
+// tools/determinism_check and tests/trace_hash_test.cc enforce it; any
+// unseeded randomness, address-dependent container iteration, or
+// uninitialized read that leaks into scheduling or shared-memory traffic
+// shows up as a hash divergence at the source.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -38,6 +48,23 @@ class Trace {
 
   [[nodiscard]] const std::vector<Event>& events() const { return events_; }
 
+  // Fold one executed atomic operation into the running op digest.
+  // Called by World::execute for every op; op_sig is a stable signature
+  // of the operation's kind, target, and arguments.
+  void mixOp(Time t, Pid p, std::uint64_t op_sig) {
+    op_digest_ = mix(op_digest_, static_cast<std::uint64_t>(t));
+    op_digest_ = mix(op_digest_, static_cast<std::uint64_t>(p) + 1);
+    op_digest_ = mix(op_digest_, op_sig);
+    ++ops_mixed_;
+  }
+  [[nodiscard]] std::uint64_t opDigest() const { return op_digest_; }
+  [[nodiscard]] std::uint64_t opsMixed() const { return ops_mixed_; }
+
+  // Stable 64-bit hash of the whole run: the op digest plus every
+  // recorded event (time, pid, kind, label, value). Identical
+  // configurations must yield identical hashes; see the file comment.
+  [[nodiscard]] std::uint64_t hash64() const;
+
   // All events of one kind, in time order (trace order == time order).
   [[nodiscard]] std::vector<Event> ofKind(EventKind k) const;
 
@@ -47,7 +74,16 @@ class Trace {
   [[nodiscard]] std::string toString() const;
 
  private:
+  // One round of splitmix64-style mixing: cheap, stable across platforms.
+  static std::uint64_t mix(std::uint64_t h, std::uint64_t x) {
+    h ^= x + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    h *= 0xFF51AFD7ED558CCDULL;
+    h ^= h >> 33;
+    return h;
+  }
   std::vector<Event> events_;
+  std::uint64_t op_digest_ = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  std::uint64_t ops_mixed_ = 0;
 };
 
 }  // namespace wfd::sim

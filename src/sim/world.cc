@@ -4,7 +4,40 @@
 
 namespace wfd::sim {
 
+namespace {
+
+// Cheap stable signature of one executed operation, folded into the
+// trace's op digest (see Trace::mixOp). Covers the op kind, target
+// object, slot, and argument value — enough that any divergence in the
+// executed op stream (a different schedule, a nondeterministic argument)
+// changes the run's trace hash.
+std::uint64_t opSignature(const Op& op) {
+  std::uint64_t h = 0x100000001B3ULL * (op.index() + 1);
+  if (const auto* w = std::get_if<OpWrite>(&op)) {
+    h ^= static_cast<std::uint64_t>(w->obj) * 0x9E3779B97F4A7C15ULL;
+    h ^= w->val.hash64();
+  } else if (const auto* r = std::get_if<OpRead>(&op)) {
+    h ^= static_cast<std::uint64_t>(r->obj) * 0x9E3779B97F4A7C15ULL;
+  } else if (const auto* u = std::get_if<OpSnapUpdate>(&op)) {
+    h ^= static_cast<std::uint64_t>(u->obj) * 0x9E3779B97F4A7C15ULL;
+    h ^= static_cast<std::uint64_t>(u->slot) << 32;
+    h ^= u->val.hash64();
+  } else if (const auto* s = std::get_if<OpSnapScan>(&op)) {
+    h ^= static_cast<std::uint64_t>(s->obj) * 0x9E3779B97F4A7C15ULL;
+  } else if (const auto* c = std::get_if<OpConsPropose>(&op)) {
+    h ^= static_cast<std::uint64_t>(c->obj) * 0x9E3779B97F4A7C15ULL;
+    h ^= c->val.hash64();
+  }
+  return h;
+}
+
+}  // namespace
+
 OpResult World::execute(Pid p, const Op& op) {
+  // Audit before dispatch: kThrow mode must report kind/port violations
+  // before the object table's own asserts would halt the process.
+  if (audit_) audit_->onExecuteBegin(p, op);
+  trace_.mixOp(now_, p, opSignature(op));
   OpResult res;
   if (const auto* r = std::get_if<OpRead>(&op)) {
     res.scalar = objects_.read(r->obj);
@@ -22,7 +55,13 @@ OpResult World::execute(Pid p, const Op& op) {
   } else {
     assert(std::holds_alternative<OpNoop>(op));
   }
+  if (audit_) audit_->onExecuteEnd(p);
   return res;
+}
+
+void World::enableAudit(AuditMode mode) {
+  audit_ = std::make_unique<StepAuditor>(this, mode);
+  objects_.setObserver(audit_.get());
 }
 
 void World::setPublished(Pid p, RegVal v) {

@@ -13,6 +13,7 @@
 #include "sim/failure_pattern.h"
 #include "sim/object_table.h"
 #include "sim/ops.h"
+#include "sim/step_audit.h"
 #include "sim/trace.h"
 
 namespace wfd::sim {
@@ -41,11 +42,23 @@ class World {
   void advanceClock() { ++now_; }
 
   ObjectTable& objects() { return objects_; }
+  [[nodiscard]] const ObjectTable& objectsConst() const { return objects_; }
   Trace& trace() { return trace_; }
   [[nodiscard]] const Trace& trace() const { return trace_; }
 
   // Execute one atomic step's operation on behalf of process p.
   OpResult execute(Pid p, const Op& op);
+
+  // ---- Model-conformance auditing (sim/step_audit.h) ----
+  // Opt-in: attaches a StepAuditor that observes every step, executed
+  // operation, and object-table access of this world. The auditor never
+  // alters behavior; audited and unaudited runs produce identical traces.
+  void enableAudit(AuditMode mode);
+  [[nodiscard]] StepAuditor* auditor() const { return audit_.get(); }
+  // Called when the run ends (Run::finish): post-run inspection of the
+  // object table by tests/checkers is not shared-memory traffic and must
+  // not be audited. The auditor itself stays for report inspection.
+  void endAuditObservation() { objects_.setObserver(nullptr); }
 
   // Emulated-FD outputs (the paper's distributed variable D-output_i).
   // Readable by scheduling policies (adversaries) and checkers at zero
@@ -63,6 +76,7 @@ class World {
   Time now_ = 0;
   ObjectTable objects_;
   Trace trace_;
+  std::unique_ptr<StepAuditor> audit_;
   std::vector<RegVal> published_ =
       std::vector<RegVal>(static_cast<std::size_t>(n_plus_1_));
 };

@@ -1,0 +1,154 @@
+// Trace-hash determinism tests (docs/ANALYSIS.md §2).
+//
+// The 64-bit trace hash is the determinism checker's witness: it must be
+// (a) a pure function of the run configuration — identical seeds replay
+// to identical hashes across independent Runner instances — and (b)
+// sensitive to everything that defines a run: seed, schedule policy,
+// failure pattern, and the executed op stream itself.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_util.h"
+#include "wfd.h"
+
+namespace wfd {
+namespace {
+
+using sim::Env;
+using sim::FailurePattern;
+using sim::RunConfig;
+using sim::RunResult;
+
+RunConfig smokeCfg(std::uint64_t seed) {
+  RunConfig cfg;
+  cfg.n_plus_1 = 4;
+  const auto fp = FailurePattern::failureFree(4);
+  cfg.fp = fp;
+  cfg.fd = fd::makeUpsilon(fp, 100, seed);
+  cfg.seed = seed;
+  return cfg;
+}
+
+RunResult smokeRun(std::uint64_t seed) {
+  return sim::runTask(
+      smokeCfg(seed),
+      [](Env& e, Value v) { return core::upsilonSetAgreement(e, v); },
+      test::distinctProposals(4));
+}
+
+TEST(TraceHash, IdenticalSeedsIdenticalHashesAcrossRunners) {
+  for (const std::uint64_t seed : {1u, 5u, 42u}) {
+    const RunResult a = smokeRun(seed);  // two fully independent Run
+    const RunResult b = smokeRun(seed);  // instances, same configuration
+    EXPECT_EQ(a.trace().hash64(), b.trace().hash64()) << "seed=" << seed;
+    EXPECT_EQ(a.trace().opDigest(), b.trace().opDigest()) << "seed=" << seed;
+    EXPECT_EQ(a.trace().opsMixed(), b.trace().opsMixed()) << "seed=" << seed;
+    EXPECT_EQ(a.steps, b.steps) << "seed=" << seed;
+  }
+}
+
+TEST(TraceHash, DistinctSeedsDistinctHashes) {
+  std::set<std::uint64_t> hashes;
+  const int kSeeds = 10;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    hashes.insert(smokeRun(seed).trace().hash64());
+  }
+  EXPECT_EQ(static_cast<int>(hashes.size()), kSeeds)
+      << "seed collisions: the hash is not covering the schedule";
+}
+
+TEST(TraceHash, SchedulePolicyChangesHash) {
+  RunConfig random = smokeCfg(9);
+  random.policy = sim::PolicyKind::kRandom;
+  RunConfig rr = smokeCfg(9);
+  rr.policy = sim::PolicyKind::kRoundRobin;
+  const auto algo = [](Env& e, Value v) {
+    return core::upsilonSetAgreement(e, v);
+  };
+  const auto h_random =
+      sim::runTask(random, algo, test::distinctProposals(4)).trace().hash64();
+  const auto h_rr =
+      sim::runTask(rr, algo, test::distinctProposals(4)).trace().hash64();
+  EXPECT_NE(h_random, h_rr);
+}
+
+TEST(TraceHash, FailurePatternChangesHash) {
+  RunConfig crash = smokeCfg(9);
+  // Crash early enough to land inside the run: a crash after the last
+  // decision would leave the executed schedule — and the hash — unchanged.
+  const auto fp = FailurePattern::withCrashes(4, {{1, 5}});
+  crash.fp = fp;
+  crash.fd = fd::makeUpsilon(fp, 100, 9);
+  const auto algo = [](Env& e, Value v) {
+    return core::upsilonSetAgreement(e, v);
+  };
+  const auto h_free =
+      sim::runTask(smokeCfg(9), algo, test::distinctProposals(4))
+          .trace()
+          .hash64();
+  const auto h_crash =
+      sim::runTask(crash, algo, test::distinctProposals(4)).trace().hash64();
+  EXPECT_NE(h_free, h_crash);
+}
+
+// The op digest covers the full executed op stream: a run where every
+// resume executes exactly one shared-memory op mixes exactly steps ops.
+TEST(TraceHash, OpDigestCoversEveryExecutedOp) {
+  const auto counterLoop = [](Env& e, Value) -> sim::Coro<sim::Unit> {
+    const ObjId r = e.reg(sim::ObjKey{"cnt", e.me()});
+    for (int i = 0; i < 50; ++i) {
+      co_await e.write(r, RegVal(Value{i}));
+    }
+    co_return sim::Unit{};
+  };
+  RunConfig cfg;
+  cfg.n_plus_1 = 3;
+  cfg.seed = 17;
+  const RunResult rr = sim::runTask(
+      cfg, counterLoop, std::vector<Value>(3, 0));
+  EXPECT_TRUE(rr.all_correct_done);
+  EXPECT_EQ(rr.trace().opsMixed(), rr.steps);
+  EXPECT_GT(rr.trace().opsMixed(), 0);
+}
+
+// Two runs whose event logs are empty but whose op streams differ must
+// still hash differently: the digest, not just recorded events, matters.
+TEST(TraceHash, OpStreamAloneDistinguishesRuns) {
+  const auto writes = [](Env& e, Value) -> sim::Coro<sim::Unit> {
+    const ObjId r = e.reg(sim::ObjKey{"x", e.me()});
+    co_await e.write(r, RegVal(Value{1}));
+    co_return sim::Unit{};
+  };
+  const auto reads = [](Env& e, Value) -> sim::Coro<sim::Unit> {
+    const ObjId r = e.reg(sim::ObjKey{"x", e.me()});
+    co_await e.read(r);
+    co_return sim::Unit{};
+  };
+  RunConfig cfg;
+  cfg.n_plus_1 = 2;
+  cfg.seed = 3;
+  const auto h_w =
+      sim::runTask(cfg, writes, {0, 0}).trace().hash64();
+  const auto h_r =
+      sim::runTask(cfg, reads, {0, 0}).trace().hash64();
+  EXPECT_NE(h_w, h_r);
+}
+
+// RegVal::hash64 feeds the digest: structurally different values hash
+// differently, equal values hash identically.
+TEST(TraceHash, RegValHashIsStructural) {
+  EXPECT_EQ(RegVal(Value{7}).hash64(), RegVal(Value{7}).hash64());
+  EXPECT_NE(RegVal(Value{7}).hash64(), RegVal(Value{8}).hash64());
+  EXPECT_NE(RegVal(Value{1}).hash64(), RegVal(true).hash64());
+  const ProcSet s1{0, 2};
+  const ProcSet s2{1};
+  EXPECT_NE(RegVal(s1).hash64(), RegVal(s2).hash64());
+  EXPECT_NE(RegVal::tuple({RegVal(Value{1})}).hash64(),
+            RegVal::tuple({RegVal(Value{2})}).hash64());
+  EXPECT_EQ(RegVal::tuple({RegVal(Value{1}), RegVal(true)}).hash64(),
+            RegVal::tuple({RegVal(Value{1}), RegVal(true)}).hash64());
+}
+
+}  // namespace
+}  // namespace wfd

@@ -1,0 +1,206 @@
+// Determinism check (registered in ctest as tools.determinism_check).
+//
+// DESIGN.md §5 promises that a run is a pure function of (algorithm,
+// config): identical seeds replay identical traces. This harness
+// enforces that promise mechanically across representative workloads
+// from every core algorithm family — Fig. 1 (Υ set agreement), Fig. 2
+// (Υ^f f-resilient), Fig. 3 (extraction), the Theorem 1 adversary
+// chase, and the BG simulation — by executing each configuration twice
+// in fresh Runner instances and failing on any trace-hash divergence.
+// Unseeded randomness, unordered-container iteration feeding the
+// schedule, or uninitialized reads all surface here as a hash mismatch.
+//
+// Two additional properties ride along:
+//   * non-interference: the step auditor (collect mode) must not change
+//     the trace hash, and must report zero violations on every legal
+//     algorithm;
+//   * seed sensitivity: distinct seeds must produce distinct hashes on a
+//     smoke workload (the hash actually covers the op stream).
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "wfd.h"
+
+namespace {
+
+using namespace wfd;
+using sim::AuditMode;
+using sim::Env;
+using sim::FailurePattern;
+using sim::RunConfig;
+using sim::RunResult;
+
+int g_failures = 0;
+
+void check(bool ok, const std::string& what) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+  if (!ok) ++g_failures;
+}
+
+// Run the workload twice fresh, plus once audited; returns the hash.
+std::uint64_t verifyReplay(const std::string& name, const sim::AlgoFn& algo,
+                           RunConfig cfg, const std::vector<Value>& props) {
+  cfg.audit.reset();
+  const RunResult r1 = sim::runTask(cfg, algo, props);
+  const RunResult r2 = sim::runTask(cfg, algo, props);
+  const std::uint64_t h1 = r1.trace().hash64();
+  check(h1 == r2.trace().hash64(), name + ": identical seed, identical hash");
+
+  cfg.audit = AuditMode::kCollect;
+  const RunResult ra = sim::runTask(cfg, algo, props);
+  check(ra.trace().hash64() == h1,
+        name + ": auditor on/off leaves the trace hash unchanged");
+  check(ra.audit() != nullptr && ra.audit()->clean(),
+        name + ": step auditor reports zero violations");
+  return h1;
+}
+
+void fig1Workloads() {
+  std::puts("Fig. 1 (Upsilon n-set-agreement):");
+  for (const std::uint64_t seed : {1u, 7u, 23u}) {
+    const int n_plus_1 = 4;
+    const auto fp = FailurePattern::withCrashes(n_plus_1, {{1, 120}});
+    RunConfig cfg;
+    cfg.n_plus_1 = n_plus_1;
+    cfg.fp = fp;
+    cfg.fd = fd::makeUpsilon(fp, 150, seed);
+    cfg.seed = seed;
+    verifyReplay(
+        "fig1 seed=" + std::to_string(seed),
+        [](Env& e, Value v) { return core::upsilonSetAgreement(e, v); }, cfg,
+        {10, 20, 30, 40});
+  }
+  // Afek register-built snapshots exercise the memory substrate.
+  const int n_plus_1 = 3;
+  const auto fp = FailurePattern::failureFree(n_plus_1);
+  RunConfig cfg;
+  cfg.n_plus_1 = n_plus_1;
+  cfg.fp = fp;
+  cfg.fd = fd::makeUpsilon(fp, 80, 5);
+  cfg.seed = 5;
+  cfg.flavor = sim::SnapshotFlavor::kAfek;
+  verifyReplay(
+      "fig1 afek-snapshots",
+      [](Env& e, Value v) { return core::upsilonSetAgreement(e, v); }, cfg,
+      {1, 2, 3});
+}
+
+void fig2Workloads() {
+  std::puts("Fig. 2 (Upsilon^f f-resilient f-set-agreement):");
+  for (const std::uint64_t seed : {3u, 11u}) {
+    const int n_plus_1 = 5;
+    const int f = 2;
+    const auto fp = FailurePattern::withCrashes(n_plus_1, {{4, 200}});
+    RunConfig cfg;
+    cfg.n_plus_1 = n_plus_1;
+    cfg.fp = fp;
+    cfg.fd = fd::makeUpsilonF(fp, f, 180, seed);
+    cfg.seed = seed;
+    verifyReplay(
+        "fig2 f=2 seed=" + std::to_string(seed),
+        [f](Env& e, Value v) { return core::upsilonFSetAgreement(e, f, v); },
+        cfg, {10, 20, 30, 40, 50});
+  }
+}
+
+void fig3Workloads() {
+  std::puts("Fig. 3 (stable D -> Upsilon^f extraction):");
+  for (const std::uint64_t seed : {2u, 9u}) {
+    const int n_plus_1 = 4;
+    const auto fp = FailurePattern::random(n_plus_1, n_plus_1 - 1, 40, seed);
+    RunConfig cfg;
+    cfg.n_plus_1 = n_plus_1;
+    cfg.fp = fp;
+    cfg.fd = fd::makeOmega(fp, 100, seed);
+    cfg.seed = seed;
+    cfg.max_steps = 60'000;
+    const auto phi = core::phiOmegaK(n_plus_1);
+    verifyReplay(
+        "fig3 from-omega seed=" + std::to_string(seed),
+        [phi](Env& e, Value) { return core::extractUpsilonF(e, phi); }, cfg,
+        std::vector<Value>(static_cast<std::size_t>(n_plus_1), 0));
+  }
+}
+
+void adversaryWorkloads() {
+  std::puts("Theorem 1 adversary (solo chase):");
+  const auto cand = [](Env& e, Value) {
+    return core::candidateLowestHeartbeat(e);
+  };
+  for (const std::uint64_t seed : {1u, 4u}) {
+    const auto s1 = core::soloChase(cand, 3, 20'000, 4096, seed);
+    const auto s2 = core::soloChase(cand, 3, 20'000, 4096, seed);
+    check(s1.run.trace().hash64() == s2.run.trace().hash64(),
+          "chase seed=" + std::to_string(seed) +
+              ": identical seed, identical hash");
+    check(s1.switches == s2.switches,
+          "chase seed=" + std::to_string(seed) + ": identical switch count");
+  }
+}
+
+void bgWorkloads() {
+  std::puts("BG simulation:");
+  core::BgConfig bg;
+  bg.simulators = 2;
+  bg.simulated = 3;
+  bg.inputs = {101, 102, 103};
+  const auto quorum = core::minOfQuorumProgram(2);
+  const auto ca = core::commitAdoptProgram();
+  for (const std::uint64_t seed : {1u, 13u}) {
+    for (const auto* name : {"min-of-quorum", "commit-adopt"}) {
+      const auto& prog =
+          std::string(name) == "min-of-quorum" ? quorum : ca;
+      RunConfig cfg;
+      cfg.n_plus_1 = bg.simulators;
+      cfg.seed = seed;
+      verifyReplay(
+          std::string("bg ") + name + " seed=" + std::to_string(seed),
+          [&bg, &prog](Env& e, Value) { return core::bgSimulator(e, bg, prog); },
+          cfg, std::vector<Value>(static_cast<std::size_t>(bg.simulators), 0));
+    }
+  }
+}
+
+void seedSensitivity() {
+  std::puts("Seed sensitivity (hash covers the op stream):");
+  std::set<std::uint64_t> hashes;
+  const int kSeeds = 8;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const int n_plus_1 = 4;
+    const auto fp = FailurePattern::failureFree(n_plus_1);
+    RunConfig cfg;
+    cfg.n_plus_1 = n_plus_1;
+    cfg.fp = fp;
+    cfg.fd = fd::makeUpsilon(fp, 100, seed);
+    cfg.seed = seed;
+    const RunResult rr = sim::runTask(
+        cfg, [](Env& e, Value v) { return core::upsilonSetAgreement(e, v); },
+        {10, 20, 30, 40});
+    hashes.insert(rr.trace().hash64());
+  }
+  check(static_cast<int>(hashes.size()) == kSeeds,
+        "distinct seeds give distinct hashes (" +
+            std::to_string(hashes.size()) + "/" + std::to_string(kSeeds) +
+            " unique)");
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== determinism check: every workload runs twice per seed ===");
+  fig1Workloads();
+  fig2Workloads();
+  fig3Workloads();
+  adversaryWorkloads();
+  bgWorkloads();
+  seedSensitivity();
+  if (g_failures > 0) {
+    std::printf("\ndeterminism check FAILED: %d divergence(s)\n", g_failures);
+    return 1;
+  }
+  std::puts("\ndeterminism check passed: all replays hash-identical");
+  return 0;
+}

@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Model lint: static pass banning determinism- and model-breaking constructs.
+
+The simulator's experiment conclusions (EXPERIMENTS.md) require that runs
+are pure functions of their configuration and that algorithm code touches
+shared state only through the Env/atomic-step machinery (docs/MODEL.md,
+docs/ANALYSIS.md). This lint scans the algorithm-facing sources —
+src/core, src/fd, src/memory — for constructs that silently break those
+guarantees:
+
+  libc-rand          rand()/srand()/rand_r(): unseeded process-global RNG
+  random-device      std::random_device: nondeterministic entropy source
+  wall-clock-time    time(...)/clock(): ambient wall-clock state
+  chrono-clock-now   std::chrono::*_clock::now(): ambient wall-clock state
+  unordered-iter     std::unordered_{map,set,...}: address/seed-dependent
+                     iteration order can leak into traces and schedules
+  direct-world       env.world()/.objects() use outside src/sim: shared
+                     state must flow through Env's atomic-step awaitables
+                     (the step auditor enforces this dynamically; the lint
+                     catches it before the code ever runs)
+
+Run as a ctest test (tools.model_lint). `--self-test` proves every rule
+fires on a violating snippet and stays silent on clean code.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# (rule-name, compiled regex, explanation)
+RULES = [
+    (
+        "libc-rand",
+        re.compile(r"\b(?:rand|srand|rand_r|random|srandom)\s*\("),
+        "libc RNG is process-global and unseeded per run; use common/rng.h "
+        "(seeded xoshiro) or hashedUniform",
+    ),
+    (
+        "random-device",
+        re.compile(r"std::random_device"),
+        "std::random_device is a nondeterministic entropy source; runs must "
+        "be pure functions of their seed",
+    ),
+    (
+        "wall-clock-time",
+        re.compile(r"\b(?:time|clock|gettimeofday|clock_gettime)\s*\(\s*(?:NULL|nullptr|0|&|\))"),
+        "ambient wall-clock state; simulated logical time is World::now()",
+    ),
+    (
+        "chrono-clock-now",
+        re.compile(
+            r"std::chrono::\w*clock::now|\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now"
+        ),
+        "ambient wall-clock state; simulated logical time is World::now()",
+    ),
+    (
+        "unordered-iter",
+        re.compile(r"std::unordered_(?:map|set|multimap|multiset)"),
+        "iteration order of unordered containers is address/seed dependent "
+        "and can leak nondeterminism into traces; use std::map/std::set",
+    ),
+    (
+        "direct-world",
+        re.compile(r"(?:\.|->)\s*world\s*\(\s*\)|(?:\.|->)\s*objects\s*\(\s*\)"),
+        "algorithm code must reach shared state through Env's atomic-step "
+        "awaitables, never through World/ObjectTable directly (keeps step "
+        "accounting honest; audited dynamically by sim/step_audit.h)",
+    ),
+]
+
+# Directories whose sources the model rules bind (relative to --root).
+LINTED_DIRS = ["src/core", "src/fd", "src/memory"]
+EXTENSIONS = {".h", ".cc"}
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving newlines.
+
+    Keeps line numbers stable so findings point at real source lines, and
+    prevents prose in comments ("crash times", "the clock") from tripping
+    token rules.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            i = n if j == -1 else j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            seg = text[i : (n if j == -1 else j + 2)]
+            out.append("".join(ch if ch == "\n" else " " for ch in seg))
+            i = n if j == -1 else j + 2
+        elif c in "\"'":
+            quote = c
+            out.append(" ")
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out.append("  ")
+                    i += 2
+                else:
+                    out.append(" " if text[i] != "\n" else "\n")
+                    i += 1
+            i += 1  # closing quote
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def scan_text(text: str, path: str):
+    """Return [(path, line_no, rule, line_text)] for one file's contents."""
+    findings = []
+    stripped = strip_comments_and_strings(text)
+    lines = text.splitlines()
+    for lineno, line in enumerate(stripped.splitlines(), start=1):
+        if "model-lint-allow" in (lines[lineno - 1] if lineno <= len(lines) else ""):
+            continue
+        for rule, rx, _why in RULES:
+            if rx.search(line):
+                src = lines[lineno - 1].strip() if lineno <= len(lines) else ""
+                findings.append((path, lineno, rule, src))
+    return findings
+
+
+def scan_tree(root: pathlib.Path):
+    findings = []
+    files = 0
+    for d in LINTED_DIRS:
+        base = root / d
+        if not base.is_dir():
+            print(f"model_lint: missing directory {base}", file=sys.stderr)
+            return None, 0
+        for p in sorted(base.rglob("*")):
+            if p.suffix in EXTENSIONS and p.is_file():
+                files += 1
+                findings.extend(
+                    scan_text(p.read_text(encoding="utf-8"), str(p.relative_to(root)))
+                )
+    return findings, files
+
+
+# --- self test: every rule must fire on its violating snippet ------------
+
+VIOLATING_SNIPPETS = {
+    "libc-rand": "int pick() { return rand() % 7; }\n",
+    "random-device": "std::random_device rd;\nauto s = rd();\n",
+    "wall-clock-time": "long stamp() { return time(nullptr); }\n",
+    "chrono-clock-now": "auto t0 = std::chrono::steady_clock::now();\n",
+    "unordered-iter": "std::unordered_map<int, int> seen;\n",
+    "direct-world": "void rogue(Env& env) { env.world()->objects(); }\n",
+}
+
+CLEAN_SNIPPET = """\
+// A legal algorithm fragment: seeded rng, logical time, ordered maps.
+// Mentions of rand(), time() and world() in comments must not fire.
+#include <map>
+Coro<Unit> algo(Env& env, Value v) {
+  const ObjId r = env.reg(ObjKey{"D", 0});
+  co_await env.write(r, RegVal(v));           // one op per step
+  const auto res = co_await env.read(r);
+  std::map<int, int> ordered;                 // deterministic iteration
+  const char* s = "call rand() at time(0) on world()";  // string, not code
+  env.decide(res.scalar.asInt());
+  co_return Unit{};
+}
+"""
+
+
+def self_test() -> int:
+    failures = 0
+    for rule, snippet in VIOLATING_SNIPPETS.items():
+        found = {r for (_p, _l, r, _s) in scan_text(snippet, "<snippet>")}
+        if rule not in found:
+            print(f"self-test FAIL: rule {rule} did not fire on its snippet")
+            failures += 1
+        else:
+            print(f"self-test ok: {rule} fires")
+    clean = scan_text(CLEAN_SNIPPET, "<clean>")
+    if clean:
+        print(f"self-test FAIL: clean snippet produced findings: {clean}")
+        failures += 1
+    else:
+        print("self-test ok: clean snippet produces no findings")
+    allow = scan_text("int x = rand();  // model-lint-allow: test fixture\n", "<allow>")
+    if allow:
+        print("self-test FAIL: model-lint-allow suppression ignored")
+        failures += 1
+    else:
+        print("self-test ok: model-lint-allow suppresses")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", type=pathlib.Path, default=pathlib.Path("."),
+                    help="repository root (contains src/)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify every rule fires on a violating snippet")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    findings, files = scan_tree(args.root.resolve())
+    if findings is None:
+        return 2
+    why = dict((r, w) for r, _rx, w in RULES)
+    for path, lineno, rule, src in findings:
+        print(f"{path}:{lineno}: [{rule}] {src}")
+        print(f"    {why[rule]}")
+    if findings:
+        print(f"model_lint: {len(findings)} finding(s) in {files} files")
+        return 1
+    print(f"model_lint: clean ({files} files in {', '.join(LINTED_DIRS)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
