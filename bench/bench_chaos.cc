@@ -1,0 +1,388 @@
+// E16: chaos certification — thousands of injector-composed runs.
+//
+// Three campaigns over the Fig. 1 / Fig. 2 / Fig. 3 workloads:
+//   * legal:    seed-indexed compositions of legal injectors (crash
+//     placement incl. kFdLeader/kOnDecide critical-step strategies,
+//     bounded starvation windows, shared-memory op delay, in-axiom FD
+//     glitches). Certifies that safety NEVER breaks: zero safety
+//     violations, zero axiom violations, and every decided run passes
+//     checkKSetAgreement. Fig. 3 runs forever by design and must end in
+//     kBudgetExhausted — a structured report, never an abort.
+//   * negative: illegal FD glitches driven through an FD-sampler
+//     automaton (detection must not depend on whether a workload happens
+//     to query its detector). Certifies 100% detection: every run ends
+//     in kAxiomViolation.
+//   * replay:   a sample of chaos runs is re-executed and must reproduce
+//     verdict, step count and trace hash bit-for-bit.
+//
+// --quick shrinks the campaign for CI smoke; the full depth (>= 5,000
+// legal + >= 1,000 negative runs) is the scheduled soak and the numbers
+// quoted in EXPERIMENTS.md row E16.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace wfd;
+using sim::ChaosConfig;
+using sim::CrashInjection;
+using sim::Env;
+using sim::FailurePattern;
+using sim::GlitchKind;
+using sim::OpDelay;
+using sim::RunConfig;
+using sim::RunReport;
+using sim::RunVerdict;
+using sim::WatchdogConfig;
+
+int g_failures = 0;
+
+void require(bool ok, const std::string& what) {
+  if (!ok) {
+    std::printf("  CERTIFICATION FAILURE: %s\n", what.c_str());
+    ++g_failures;
+  }
+}
+
+// Seed-indexed legal injector composition (docs/CHAOS.md): every run gets
+// a different mix of crash strategies, schedule bias and in-axiom FD
+// noise, all derived from the run seed alone.
+ChaosConfig legalChaos(std::uint64_t seed, int n_plus_1, int max_faulty,
+                       ProcSet protect) {
+  ChaosConfig c;
+  c.seed = seed;
+  c.max_faulty = max_faulty;
+  c.protected_pids = protect;
+  switch (seed % 3) {
+    case 0: c.glitch = {GlitchKind::kNone, 0, 0}; break;
+    case 1: c.glitch = {GlitchKind::kScrambleNoise, 0, seed * 31}; break;
+    case 2: c.glitch = {GlitchKind::kDelayStabilization, 300, seed * 17}; break;
+  }
+  if (seed % 2 == 0) {
+    c.crashes.push_back({CrashInjection::Strategy::kRandom, -1, 0,
+                         /*horizon=*/900, /*count=*/2, seed * 7});
+  }
+  if (seed % 5 == 0) {
+    c.crashes.push_back(
+        {CrashInjection::Strategy::kFdLeader, -1, /*at=*/400, 0, 1, 0});
+  }
+  if (seed % 7 == 0) {
+    c.crashes.push_back(
+        {CrashInjection::Strategy::kOnDecide, -1, 0, 0, /*count=*/1, 0});
+  }
+  if (seed % 3 == 0) {
+    c.starvation.push_back(
+        {ProcSet{static_cast<Pid>(seed % n_plus_1)}, 150, 300});
+  }
+  if (seed % 2 == 1) c.op_delay = OpDelay{48, 16, seed};
+  return c;
+}
+
+struct CampaignStats {
+  std::map<RunVerdict, int> verdicts;
+  int runs = 0;
+  int agreement_failures = 0;
+
+  void add(RunVerdict v) {
+    ++runs;
+    ++verdicts[v];
+  }
+  [[nodiscard]] int count(RunVerdict v) const {
+    const auto it = verdicts.find(v);
+    return it == verdicts.end() ? 0 : it->second;
+  }
+  [[nodiscard]] std::string histogram() const {
+    std::string s;
+    for (const auto& [v, n] : verdicts) {
+      if (!s.empty()) s += " ";
+      s += std::string(sim::runVerdictName(v)) + "=" + std::to_string(n);
+    }
+    return s.empty() ? "-" : s;
+  }
+};
+
+// ---- Workload constructors (legality contract: stable sets pinned so
+// injected crashes cannot invalidate the FD's axioms) ----
+
+RunConfig fig1Config(std::uint64_t seed) {
+  const int n_plus_1 = 4;
+  RunConfig cfg;
+  cfg.n_plus_1 = n_plus_1;
+  cfg.fp = FailurePattern::withCrashes(n_plus_1, {{n_plus_1 - 1, 60}});
+  cfg.fd =
+      fd::makeUpsilon(*cfg.fp, ProcSet::full(n_plus_1), /*stab=*/250, seed);
+  cfg.seed = seed;
+  return cfg;
+}
+
+RunConfig fig2Config(std::uint64_t seed) {
+  const int n_plus_1 = 5;
+  const int f = 2;
+  RunConfig cfg;
+  cfg.n_plus_1 = n_plus_1;
+  cfg.fp = FailurePattern::withCrashes(n_plus_1, {{n_plus_1 - 1, 80}});
+  cfg.fd = fd::makeUpsilonF(*cfg.fp, f, ProcSet::full(n_plus_1),
+                            /*stab=*/250, seed);
+  cfg.seed = seed;
+  return cfg;
+}
+
+RunConfig fig3Config(std::uint64_t seed) {
+  const int n_plus_1 = 4;
+  RunConfig cfg;
+  cfg.n_plus_1 = n_plus_1;
+  cfg.fp = FailurePattern::withCrashes(n_plus_1, {{3, 60}});
+  cfg.fd = fd::makeOmega(*cfg.fp, /*stab=*/120, seed);
+  cfg.seed = seed;
+  return cfg;
+}
+
+CampaignStats legalFig1(int runs) {
+  CampaignStats st;
+  const auto props = std::vector<Value>{100, 101, 102, 103};
+  for (int i = 0; i < runs; ++i) {
+    const std::uint64_t seed = static_cast<std::uint64_t>(i) + 1;
+    const RunConfig cfg = fig1Config(seed);
+    const ChaosConfig chaos = legalChaos(seed, 4, /*max_faulty=*/2, {});
+    const RunReport rep =
+        runChaosTask(cfg, chaos, WatchdogConfig{3'000'000, 0, 3},
+                     [](Env& e, Value v) {
+                       return core::upsilonSetAgreement(e, v);
+                     },
+                     props);
+    st.add(rep.verdict);
+    require(rep.verdict != RunVerdict::kSafetyViolation,
+            "fig1 seed " + std::to_string(seed) + ": " + rep.detail);
+    require(rep.verdict != RunVerdict::kAxiomViolation,
+            "fig1 seed " + std::to_string(seed) +
+                " flagged a LEGAL injector: " + rep.detail);
+    if (rep.verdict == RunVerdict::kOk) {
+      const auto check = core::checkKSetAgreement(rep.result, 3, props);
+      if (!check.ok()) {
+        ++st.agreement_failures;
+        require(false, "fig1 seed " + std::to_string(seed) + ": " +
+                           check.violation);
+      }
+    }
+  }
+  return st;
+}
+
+CampaignStats legalFig2(int runs) {
+  CampaignStats st;
+  const auto props = std::vector<Value>{100, 101, 102, 103, 104};
+  for (int i = 0; i < runs; ++i) {
+    const std::uint64_t seed = static_cast<std::uint64_t>(i) + 1;
+    const RunConfig cfg = fig2Config(seed);
+    // E_2: the pre-seeded crash plus at most one injected.
+    const ChaosConfig chaos = legalChaos(seed, 5, /*max_faulty=*/2, {});
+    const RunReport rep =
+        runChaosTask(cfg, chaos, WatchdogConfig{4'000'000, 0, 2},
+                     [](Env& e, Value v) {
+                       return core::upsilonFSetAgreement(e, 2, v);
+                     },
+                     props);
+    st.add(rep.verdict);
+    require(rep.verdict != RunVerdict::kSafetyViolation,
+            "fig2 seed " + std::to_string(seed) + ": " + rep.detail);
+    require(rep.verdict != RunVerdict::kAxiomViolation,
+            "fig2 seed " + std::to_string(seed) +
+                " flagged a LEGAL injector: " + rep.detail);
+    if (rep.verdict == RunVerdict::kOk) {
+      const auto check = core::checkKSetAgreement(rep.result, 2, props);
+      if (!check.ok()) {
+        ++st.agreement_failures;
+        require(false, "fig2 seed " + std::to_string(seed) + ": " +
+                           check.violation);
+      }
+    }
+  }
+  return st;
+}
+
+CampaignStats legalFig3(int runs) {
+  CampaignStats st;
+  const auto phi = core::phiOmegaK(4);
+  for (int i = 0; i < runs; ++i) {
+    const std::uint64_t seed = static_cast<std::uint64_t>(i) + 1;
+    const RunConfig cfg = fig3Config(seed);
+    // The extraction's Omega leader (p1, the lowest-id correct process)
+    // anchors the detector's axioms: protect it from crash injection.
+    const ChaosConfig chaos =
+        legalChaos(seed, 4, /*max_faulty=*/2, ProcSet{0});
+    const RunReport rep = runChaosTask(
+        cfg, chaos, WatchdogConfig{/*step_budget=*/15'000, 0, 0},
+        [phi](Env& e, Value) { return core::extractUpsilonF(e, phi); },
+        std::vector<Value>(4, 0));
+    st.add(rep.verdict);
+    // Runs-forever workload: the ONLY acceptable outcome is a structured
+    // budget cutoff — anything else is a certification failure.
+    require(rep.verdict == RunVerdict::kBudgetExhausted,
+            "fig3 seed " + std::to_string(seed) + ": " +
+                sim::runVerdictName(rep.verdict) + " " + rep.detail);
+  }
+  return st;
+}
+
+// ---- Negative controls ----
+
+sim::AlgoFn fdSampler() {
+  return [](Env& e, Value) -> sim::Coro<sim::Unit> {
+    for (int i = 0; i < 60; ++i) (void)co_await e.queryFd();
+    co_return sim::Unit{};
+  };
+}
+
+struct NegativeStats {
+  int runs = 0;
+  int detected = 0;
+};
+
+NegativeStats negativeControls(int runs_per_kind) {
+  NegativeStats st;
+  const auto props4 = std::vector<Value>{0, 0, 0, 0};
+  const GlitchKind upsilon_kinds[] = {
+      GlitchKind::kEmptyAnswer, GlitchKind::kUndersizedAnswer,
+      GlitchKind::kPostStabFlap, GlitchKind::kStabToCorrect};
+  for (const GlitchKind kind : upsilon_kinds) {
+    for (int i = 0; i < runs_per_kind; ++i) {
+      const std::uint64_t seed = static_cast<std::uint64_t>(i) + 1;
+      RunConfig cfg;
+      cfg.n_plus_1 = 4;
+      cfg.fp = FailurePattern::failureFree(4);
+      cfg.fd = fd::makeUpsilonF(*cfg.fp, 2, /*stab=*/0, seed);
+      cfg.seed = seed * 3 + 1;
+      ChaosConfig chaos;
+      chaos.glitch = {kind, 0, seed};
+      const RunReport rep = runChaosTask(
+          cfg, chaos, WatchdogConfig{200'000, 0, 0}, fdSampler(), props4);
+      ++st.runs;
+      if (rep.verdict == RunVerdict::kAxiomViolation) {
+        ++st.detected;
+      } else {
+        require(false, std::string("negative control ") +
+                           sim::glitchName(kind) + " seed " +
+                           std::to_string(seed) + " escaped: " +
+                           sim::runVerdictName(rep.verdict));
+      }
+    }
+  }
+  // Omega^k end-condition control needs faulty processes to stabilize on.
+  for (int i = 0; i < runs_per_kind; ++i) {
+    const std::uint64_t seed = static_cast<std::uint64_t>(i) + 1;
+    RunConfig cfg;
+    cfg.n_plus_1 = 4;
+    cfg.fp = FailurePattern::withCrashes(4, {{2, 10}, {3, 10}});
+    cfg.fd = fd::makeOmegaK(*cfg.fp, 2, /*stab=*/0, seed);
+    cfg.seed = seed * 5 + 2;
+    ChaosConfig chaos;
+    chaos.glitch = {GlitchKind::kStabExcludeCorrect, 0, seed};
+    const RunReport rep = runChaosTask(
+        cfg, chaos, WatchdogConfig{200'000, 0, 0}, fdSampler(), props4);
+    ++st.runs;
+    if (rep.verdict == RunVerdict::kAxiomViolation) {
+      ++st.detected;
+    } else {
+      require(false, "negative control stab-exclude-correct seed " +
+                         std::to_string(seed) + " escaped: " +
+                         sim::runVerdictName(rep.verdict));
+    }
+  }
+  return st;
+}
+
+// ---- Replay determinism ----
+
+int replayDeterminism(int pairs) {
+  int ok = 0;
+  const auto props = std::vector<Value>{100, 101, 102, 103};
+  for (int i = 0; i < pairs; ++i) {
+    const std::uint64_t seed = static_cast<std::uint64_t>(i) * 997 + 13;
+    const ChaosConfig chaos = legalChaos(seed, 4, 2, {});
+    const WatchdogConfig wd{3'000'000, 0, 3};
+    const auto algo = [](Env& e, Value v) {
+      return core::upsilonSetAgreement(e, v);
+    };
+    const RunReport a = runChaosTask(fig1Config(seed), chaos, wd, algo, props);
+    const RunReport b = runChaosTask(fig1Config(seed), chaos, wd, algo, props);
+    const bool same = a.verdict == b.verdict && a.steps == b.steps &&
+                      a.result.trace().hash64() == b.result.trace().hash64();
+    if (same) {
+      ++ok;
+    } else {
+      require(false, "replay divergence at seed " + std::to_string(seed));
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  // Full depth: >= 5,000 legal runs + >= 1,000 negative controls (the
+  // numbers EXPERIMENTS.md row E16 quotes). --quick is the CI smoke.
+  const int fig1_runs = quick ? 160 : 2200;
+  const int fig2_runs = quick ? 120 : 1800;
+  const int fig3_runs = quick ? 60 : 1000;
+  const int neg_per_kind = quick ? 12 : 200;
+  const int replay_pairs = quick ? 6 : 25;
+
+  bench::banner(quick ? "chaos certification (--quick)"
+                      : "chaos certification (full depth)");
+  const CampaignStats f1 = legalFig1(fig1_runs);
+  const CampaignStats f2 = legalFig2(fig2_runs);
+  const CampaignStats f3 = legalFig3(fig3_runs);
+  const NegativeStats neg = negativeControls(neg_per_kind);
+  const int replays_ok = replayDeterminism(replay_pairs);
+
+  bench::Table t({"campaign", "runs", "verdicts", "safety viol",
+                  "certified"});
+  const int legal_safety = f1.count(RunVerdict::kSafetyViolation) +
+                           f2.count(RunVerdict::kSafetyViolation) +
+                           f3.count(RunVerdict::kSafetyViolation) +
+                           f1.agreement_failures + f2.agreement_failures;
+  t.addRow({"legal fig1 (n-set agr, k=3)", bench::fmt(f1.runs),
+            f1.histogram(),
+            bench::fmt(f1.count(RunVerdict::kSafetyViolation) +
+                       f1.agreement_failures),
+            bench::passFail(f1.count(RunVerdict::kSafetyViolation) == 0 &&
+                            f1.count(RunVerdict::kAxiomViolation) == 0 &&
+                            f1.agreement_failures == 0)});
+  t.addRow({"legal fig2 (f-res, k=2)", bench::fmt(f2.runs), f2.histogram(),
+            bench::fmt(f2.count(RunVerdict::kSafetyViolation) +
+                       f2.agreement_failures),
+            bench::passFail(f2.count(RunVerdict::kSafetyViolation) == 0 &&
+                            f2.count(RunVerdict::kAxiomViolation) == 0 &&
+                            f2.agreement_failures == 0)});
+  t.addRow({"legal fig3 (extraction)", bench::fmt(f3.runs), f3.histogram(),
+            bench::fmt(f3.count(RunVerdict::kSafetyViolation)),
+            bench::passFail(f3.count(RunVerdict::kBudgetExhausted) ==
+                            f3.runs)});
+  t.addRow({"negative controls (5 kinds)", bench::fmt(neg.runs),
+            "axiom_violation=" + std::to_string(neg.detected), "0",
+            bench::passFail(neg.detected == neg.runs)});
+  t.addRow({"replay determinism", bench::fmt(replay_pairs),
+            "bit-identical=" + std::to_string(replays_ok), "-",
+            bench::passFail(replays_ok == replay_pairs)});
+  t.print();
+  std::printf(
+      "legal runs: %d, safety violations: %d; negative controls: %d/%d "
+      "detected (%.1f%%)\n",
+      f1.runs + f2.runs + f3.runs, legal_safety, neg.detected, neg.runs,
+      neg.runs > 0 ? 100.0 * neg.detected / neg.runs : 0.0);
+  if (g_failures > 0) {
+    std::printf("\nchaos certification FAILED: %d finding(s)\n", g_failures);
+    return 1;
+  }
+  std::puts("\nchaos certification passed");
+  return 0;
+}

@@ -25,6 +25,20 @@ namespace wfd::fd {
 
 using sim::FailurePattern;
 
+// What a detector instance claims about its own history, machine-readably:
+// the axiom family its outputs promise to satisfy, plus the family
+// parameter (f for Upsilon^f, k for Omega^k). The online axiom checker in
+// sim/step_audit.h validates every query() answer against this claim as it
+// is produced — range per answer, constancy after stabilizationTime(), and
+// the non-triviality conditions against the final failure pattern at end
+// of run. kNone opts a detector out (scripted/adversarial histories whose
+// whole point is to sit outside any family).
+struct AxiomSpec {
+  enum class Family { kNone, kUpsilonF, kOmegaK };
+  Family family = Family::kNone;
+  int param = 0;  // f (Upsilon^f) or k (Omega^k); unused for kNone
+};
+
 class FailureDetector {
  public:
   virtual ~FailureDetector() = default;
@@ -38,6 +52,9 @@ class FailureDetector {
   // (kNeverCrashes if the detector gives no such bound). Tests use it to
   // pick run budgets; algorithms must never look at it.
   [[nodiscard]] virtual Time stabilizationTime() const = 0;
+
+  // The axiom family this history claims to satisfy; kNone = unchecked.
+  [[nodiscard]] virtual AxiomSpec axioms() const { return {}; }
 };
 
 using FdPtr = std::shared_ptr<const FailureDetector>;

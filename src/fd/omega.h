@@ -27,6 +27,9 @@ class OmegaKFd final : public FailureDetector {
   [[nodiscard]] Time stabilizationTime() const override {
     return params_.stab_time;
   }
+  [[nodiscard]] AxiomSpec axioms() const override {
+    return {AxiomSpec::Family::kOmegaK, k_};
+  }
 
   [[nodiscard]] const ProcSet& stableLeaders() const {
     return params_.stable_leaders;

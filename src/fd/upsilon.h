@@ -35,6 +35,9 @@ class UpsilonFd final : public FailureDetector {
   ProcSet query(Pid p, Time t) const override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] Time stabilizationTime() const override { return params_.stab_time; }
+  [[nodiscard]] AxiomSpec axioms() const override {
+    return {AxiomSpec::Family::kUpsilonF, f_};
+  }
 
   [[nodiscard]] const ProcSet& stableSet() const { return params_.stable_set; }
   [[nodiscard]] int f() const { return f_; }

@@ -42,6 +42,13 @@ FailurePattern FailurePattern::random(int n_plus_1, int f, Time horizon,
   return FailurePattern(std::move(at));
 }
 
+void FailurePattern::injectCrash(Pid p, Time t) {
+  assert(p >= 0 && p < nProcs());
+  assert(crash_at_[static_cast<std::size_t>(p)] > t &&
+         "chaos cannot crash a process that is already crashed");
+  crash_at_[static_cast<std::size_t>(p)] = t;
+}
+
 ProcSet FailurePattern::crashedBy(Time t) const {
   ProcSet s;
   for (Pid p = 0; p < nProcs(); ++p) {

@@ -56,6 +56,12 @@ class FailurePattern {
     return faulty().size() <= f && !correct().empty();
   }
 
+  // Chaos crash injection (sim/chaos.h): mark p crashed at time t. Only
+  // the simulator's chaos engine may mutate a pattern mid-run — a run's
+  // pattern is otherwise immutable configuration (enforced statically by
+  // tools/model_lint.py outside sim/). p must still be alive at t.
+  void injectCrash(Pid p, Time t);
+
  private:
   explicit FailurePattern(std::vector<Time> crash_at)
       : crash_at_(std::move(crash_at)) {}

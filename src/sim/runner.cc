@@ -32,10 +32,20 @@ int RunResult::distinctDecisions() const {
 
 Run::Run(const RunConfig& cfg, const AlgoFn& algo,
          const std::vector<Value>& proposals) {
-  assert(static_cast<int>(proposals.size()) == cfg.n_plus_1);
+  // Structured errors rather than assert/abort: a chaos-perturbed or
+  // mis-assembled configuration must terminate diagnosably (watchdog.h).
+  if (static_cast<int>(proposals.size()) != cfg.n_plus_1) {
+    throw SimAbort("run configured for n+1=" + std::to_string(cfg.n_plus_1) +
+                   " processes but given " + std::to_string(proposals.size()) +
+                   " proposals");
+  }
   FailurePattern fp =
       cfg.fp.has_value() ? *cfg.fp : FailurePattern::failureFree(cfg.n_plus_1);
-  assert(fp.nProcs() == cfg.n_plus_1);
+  if (fp.nProcs() != cfg.n_plus_1) {
+    throw SimAbort("failure pattern covers " + std::to_string(fp.nProcs()) +
+                   " processes but the run has n+1=" +
+                   std::to_string(cfg.n_plus_1));
+  }
   world_ = std::make_unique<World>(cfg.n_plus_1, std::move(fp), cfg.fd,
                                    cfg.flavor);
   const std::optional<AuditMode> audit =
@@ -52,13 +62,18 @@ RunResult Run::finish(Time steps_taken) {
   RunResult res;
   res.steps = steps_taken;
   res.all_correct_done = sched_->allCorrectDone();
+  // Close the audit window first: the end-of-run FD-axiom conditions run
+  // inside endAuditObservation, so the collect-mode report below includes
+  // them (in kThrow mode they raise StepAuditError instead).
+  world_->endAuditObservation();
   // Collect-mode audits surface their findings even if nobody inspects
   // the result: a silent model violation is exactly what the auditor
-  // exists to prevent.
-  if (const StepAuditor* a = world_->auditor(); a != nullptr && !a->clean()) {
+  // exists to prevent. (kThrow already surfaced them as StepAuditError;
+  // chaos negative-control runs would otherwise spam stderr.)
+  if (const StepAuditor* a = world_->auditor();
+      a != nullptr && a->mode() == AuditMode::kCollect && !a->clean()) {
     std::fprintf(stderr, "%s\n", a->report().c_str());
   }
-  world_->endAuditObservation();
   for (const auto& e : world_->trace().ofKind(EventKind::kDecide)) {
     res.decisions[e.pid] = e.value.asInt();
   }

@@ -110,6 +110,11 @@ class Scheduler {
     return slots_.at(static_cast<std::size_t>(p))->ctx;
   }
 
+  // The run's policy RNG (seeded from RunConfig::seed). External drivers
+  // (sim/watchdog.h) draw from it so a watchdog-driven run replays the
+  // exact schedule Scheduler::run would produce.
+  [[nodiscard]] Rng& rng() { return rng_; }
+
  private:
   struct Slot {
     ProcCtx ctx;

@@ -14,6 +14,7 @@ const char* auditRuleName(AuditRule rule) {
     case AuditRule::kPortOverflow: return "port-overflow";
     case AuditRule::kCrashedStep: return "crashed-step";
     case AuditRule::kFdNonMonotone: return "fd-non-monotone";
+    case AuditRule::kFdIllegalOutput: return "fd-illegal-output";
   }
   return "?";
 }
@@ -233,6 +234,83 @@ void StepAuditor::onOpRequested(Pid p, const Op& op, bool already_pending) {
     flag(AuditRule::kMultiOp, p,
          opToString(op) + " requested while an earlier operation of p" +
              std::to_string(p + 1) + " is still pending execution");
+  }
+}
+
+void StepAuditor::onFdAnswer(Pid p, const ProcSet& answer) {
+  const fd::FailureDetector* det = world_->fd();
+  if (det == nullptr) return;
+  const fd::AxiomSpec spec = det->axioms();
+  if (spec.family == fd::AxiomSpec::Family::kNone) return;
+  const int n_plus_1 = world_->nProcs();
+  const Time t = world_->now();
+
+  // Range axioms hold for EVERY answer, stabilized or not.
+  if (spec.family == fd::AxiomSpec::Family::kUpsilonF) {
+    const int min_size = n_plus_1 - spec.param;
+    if (answer.empty() || answer.size() < min_size) {
+      flag(AuditRule::kFdIllegalOutput, p,
+           det->name() + " answered " + answer.toString() + " (size " +
+               std::to_string(answer.size()) +
+               "); Upsilon^f outputs non-empty sets of size >= n+1-f = " +
+               std::to_string(min_size < 1 ? 1 : min_size));
+      return;
+    }
+  } else if (spec.family == fd::AxiomSpec::Family::kOmegaK) {
+    if (answer.size() != spec.param) {
+      flag(AuditRule::kFdIllegalOutput, p,
+           det->name() + " answered " + answer.toString() + " (size " +
+               std::to_string(answer.size()) +
+               "); Omega^k outputs sets of size exactly k = " +
+               std::to_string(spec.param));
+      return;
+    }
+  }
+
+  // Stability: our detector implementations promise the uniform contract
+  // "query(p, t) is the stable value for every p once t >=
+  // stabilizationTime()", which is sufficient for membership in D(F). Any
+  // post-stabilization answer differing from the first one seen — at the
+  // same or another process — breaks that claim mid-run.
+  if (t >= det->stabilizationTime()) {
+    if (!post_stab_seen_) {
+      post_stab_seen_ = true;
+      post_stab_value_ = answer;
+    } else if (answer != post_stab_value_) {
+      flag(AuditRule::kFdIllegalOutput, p,
+           det->name() + " answered " + answer.toString() + " at t=" +
+               std::to_string(t) + " after stabilization (claimed t_stab=" +
+               std::to_string(det->stabilizationTime()) +
+               ") but previously answered " + post_stab_value_.toString() +
+               " (outputs must be permanently identical at all correct "
+               "processes once stabilized)");
+    }
+  }
+}
+
+void StepAuditor::finalizeFdAxioms() {
+  if (fd_finalized_) return;
+  fd_finalized_ = true;
+  const fd::FailureDetector* det = world_->fd();
+  if (det == nullptr || !post_stab_seen_) return;
+  const fd::AxiomSpec spec = det->axioms();
+  const ProcSet correct = world_->pattern().correct();
+  // Non-triviality conditions are properties of the FINAL failure pattern
+  // (chaos may inject crashes mid-run), so they can only close out here.
+  if (spec.family == fd::AxiomSpec::Family::kUpsilonF) {
+    if (post_stab_value_ == correct) {
+      flag(AuditRule::kFdIllegalOutput, -1,
+           det->name() + " stabilized on " + post_stab_value_.toString() +
+               " which equals correct(F) — Upsilon's non-triviality axiom "
+               "requires the stable set to differ from the correct set");
+    }
+  } else if (spec.family == fd::AxiomSpec::Family::kOmegaK) {
+    if (post_stab_value_.intersect(correct).empty()) {
+      flag(AuditRule::kFdIllegalOutput, -1,
+           det->name() + " stabilized on " + post_stab_value_.toString() +
+               " which contains no correct process — Omega^k's stable set "
+               "must include at least one");
+    }
   }
 }
 

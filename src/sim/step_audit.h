@@ -50,6 +50,7 @@ enum class AuditRule {
   kPortOverflow,    // consensus object saw more proposers than its ports
   kCrashedStep,     // a step scheduled for a process in F(now)
   kFdNonMonotone,   // FD queried at a non-increasing time for a process
+  kFdIllegalOutput, // a query answer broke the detector's own axiom claim
 };
 
 [[nodiscard]] const char* auditRuleName(AuditRule rule);
@@ -88,8 +89,18 @@ class StepAuditor final : public ObjectTable::AccessObserver {
   void onOpRequested(Pid p, const Op& op, bool already_pending);
   // ObjectTable::AccessObserver: a step-costing primitive was touched.
   void onObjectAccess(ObjId id, ObjectAccess access) override;
+  // World::execute, after an FD query was answered but BEFORE the answer
+  // reaches the algorithm: validate it online against the detector's
+  // AxiomSpec (range per answer; constancy after stabilizationTime()).
+  // In kThrow mode an illegal answer never enters the run.
+  void onFdAnswer(Pid p, const ProcSet& answer);
+  // End-of-run axiom conditions that need the final failure pattern
+  // (Upsilon: stable value != correct(F); Omega^k: stable leaders contain
+  // a correct process). Idempotent; called by World::endAuditObservation.
+  void finalizeFdAxioms();
 
   // ---- Results ----
+  [[nodiscard]] AuditMode mode() const { return mode_; }
   [[nodiscard]] bool clean() const { return violations_.empty(); }
   [[nodiscard]] const std::vector<AuditViolation>& violations() const {
     return violations_;
@@ -127,6 +138,13 @@ class StepAuditor final : public ObjectTable::AccessObserver {
   ObjId exec_obj_ = -1;  // object the declared op targets (-1: none)
 
   std::vector<Time> last_fd_query_;  // per pid; -1 = never queried
+
+  // Online FD-axiom state: first post-stabilization answer seen (every
+  // later post-stab answer must equal it), and whether the end-of-run
+  // conditions already ran.
+  bool post_stab_seen_ = false;
+  ProcSet post_stab_value_;
+  bool fd_finalized_ = false;
 
   Time steps_audited_ = 0;
   Time ops_audited_ = 0;

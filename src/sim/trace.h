@@ -57,6 +57,14 @@ class Trace {
     op_digest_ = mix(op_digest_, op_sig);
     ++ops_mixed_;
   }
+
+  // Fold the RESULT of the op just mixed (read value, scan view, FD
+  // answer, consensus winner). Two runs with identical op streams but
+  // diverging responses — a nondeterministic object implementation —
+  // therefore still diverge in hash64().
+  void mixResult(std::uint64_t result_sig) {
+    op_digest_ = mix(op_digest_, result_sig);
+  }
   [[nodiscard]] std::uint64_t opDigest() const { return op_digest_; }
   [[nodiscard]] std::uint64_t opsMixed() const { return ops_mixed_; }
 

@@ -1,0 +1,123 @@
+#include "sim/watchdog.h"
+
+#include <set>
+#include <vector>
+
+#include "sim/chaos.h"
+
+namespace wfd::sim {
+
+const char* runVerdictName(RunVerdict v) {
+  switch (v) {
+    case RunVerdict::kOk: return "ok";
+    case RunVerdict::kSafetyViolation: return "safety_violation";
+    case RunVerdict::kAxiomViolation: return "axiom_violation";
+    case RunVerdict::kBudgetExhausted: return "budget_exhausted";
+    case RunVerdict::kLivelock: return "livelock";
+  }
+  return "?";
+}
+
+RunReport driveWatched(Run& run, SchedulePolicy& policy,
+                       const WatchdogConfig& wd, ChaosEngine* chaos) {
+  RunReport rep;
+  World& world = run.world();
+  Scheduler& sched = run.scheduler();
+
+  // Online safety state: distinct decided values and per-process decision
+  // counts, maintained incrementally from the trace.
+  std::set<Value> distinct;
+  std::vector<int> decided(static_cast<std::size_t>(world.nProcs()), 0);
+  std::size_t scanned = 0;
+  Time last_progress = 0;
+  bool stop = false;
+
+  while (!stop) {
+    if (sched.allCorrectDone()) break;
+    if (rep.steps >= wd.step_budget) {
+      rep.verdict = RunVerdict::kBudgetExhausted;
+      rep.detail = "step budget " + std::to_string(wd.step_budget) +
+                   " exhausted before all correct processes finished";
+      break;
+    }
+    if (chaos != nullptr) chaos->beforeStep(world);
+    const ProcSet runnable = sched.runnable();
+    if (runnable.empty()) break;  // every live process finished
+    const ProcSet pick_from =
+        chaos != nullptr ? chaos->filterRunnable(runnable, world, sched)
+                         : runnable;
+    const Pid p = policy.next(pick_from, world, sched.rng());
+    try {
+      sched.step(p);
+    } catch (const StepAuditError& e) {
+      rep.verdict = RunVerdict::kAxiomViolation;
+      rep.detail = e.what();
+      break;
+    }
+    ++rep.steps;
+
+    const auto& evs = world.trace().events();
+    const bool progressed = evs.size() > scanned;
+    for (; scanned < evs.size(); ++scanned) {
+      const Event& e = evs[scanned];
+      if (e.kind != EventKind::kDecide || wd.safety_k <= 0) continue;
+      if (++decided[static_cast<std::size_t>(e.pid)] > 1) {
+        rep.verdict = RunVerdict::kSafetyViolation;
+        rep.detail = "process p" + std::to_string(e.pid) + " decided twice";
+        stop = true;
+        break;
+      }
+      distinct.insert(e.value.asInt());
+      if (static_cast<int>(distinct.size()) > wd.safety_k) {
+        rep.verdict = RunVerdict::kSafetyViolation;
+        rep.detail = std::to_string(distinct.size()) +
+                     " distinct decisions exceed the k=" +
+                     std::to_string(wd.safety_k) + " agreement bound";
+        stop = true;
+        break;
+      }
+    }
+    if (stop) break;
+    if (progressed) {
+      last_progress = rep.steps;
+    } else if (wd.livelock_window > 0 &&
+               rep.steps - last_progress >= wd.livelock_window) {
+      rep.verdict = RunVerdict::kLivelock;
+      rep.detail = "no new trace event in " +
+                   std::to_string(wd.livelock_window) +
+                   " steps with live processes still running";
+      break;
+    }
+  }
+
+  // Close the audit window now, unconditionally: the end-of-run FD-axiom
+  // conditions may raise StepAuditError in kThrow mode, and running them
+  // here (finalizeFdAxioms is idempotent) keeps run.finish() below from
+  // ever throwing. They demote an otherwise clean run; a run that already
+  // has a verdict keeps it.
+  try {
+    world.endAuditObservation();
+  } catch (const StepAuditError& e) {
+    // An illegal FD history must never hide behind a budget or livelock
+    // cutoff (negative controls demand 100% detection); only an already
+    // established safety violation outranks it.
+    if (rep.verdict != RunVerdict::kSafetyViolation) {
+      rep.verdict = RunVerdict::kAxiomViolation;
+      rep.detail = e.what();
+    }
+  }
+  // Collect-mode audits (explicitly requested by the config) report their
+  // findings as the same verdict, after the fact.
+  if (rep.verdict == RunVerdict::kOk) {
+    if (const StepAuditor* a = world.auditor();
+        a != nullptr && !a->clean()) {
+      rep.verdict = RunVerdict::kAxiomViolation;
+      rep.detail = a->violations().front().toString();
+    }
+  }
+
+  rep.result = run.finish(rep.steps);
+  return rep;
+}
+
+}  // namespace wfd::sim

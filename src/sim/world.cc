@@ -31,6 +31,20 @@ std::uint64_t opSignature(const Op& op) {
   return h;
 }
 
+// Stable signature of an operation's RESULT, folded into the op digest
+// alongside the op signature. Covers read values, scan views, consensus
+// winners and FD answers, so a nondeterministic object implementation —
+// or an injected-delay bug — is caught even when the executed op stream
+// is identical (ROADMAP open item; see tools/determinism_check).
+std::uint64_t resultSignature(const OpResult& res) {
+  std::uint64_t h = 0x27D4EB2F165667C5ULL;
+  h ^= res.scalar.hash64();
+  for (const RegVal& v : res.snapshot) {
+    h = (h ^ v.hash64()) * 0x100000001B3ULL;
+  }
+  return h;
+}
+
 }  // namespace
 
 OpResult World::execute(Pid p, const Op& op) {
@@ -48,15 +62,32 @@ OpResult World::execute(Pid p, const Op& op) {
   } else if (const auto* s = std::get_if<OpSnapScan>(&op)) {
     res.snapshot = objects_.scan(s->obj);
   } else if (std::holds_alternative<OpFdQuery>(op)) {
-    assert(fd_ != nullptr && "algorithm queried FD but none installed");
-    res.scalar = RegVal(fd_->query(p, now_));
+    if (fd_ == nullptr) {
+      throw SimAbort("p" + std::to_string(p + 1) + " queried its failure "
+                     "detector at t=" + std::to_string(now_) +
+                     " but the run has none installed");
+    }
+    const ProcSet answer = fd_->query(p, now_);
+    // Validate the answer online BEFORE it reaches the algorithm: in
+    // kThrow mode an axiom-violating output never enters the run.
+    if (audit_) audit_->onFdAnswer(p, answer);
+    res.scalar = RegVal(answer);
   } else if (const auto* c = std::get_if<OpConsPropose>(&op)) {
     res.scalar = objects_.propose(c->obj, p, c->val);
   } else {
     assert(std::holds_alternative<OpNoop>(op));
   }
+  trace_.mixResult(resultSignature(res));
   if (audit_) audit_->onExecuteEnd(p);
   return res;
+}
+
+void World::injectCrash(Pid p) {
+  fp_.injectCrash(p, now_);
+  // Injection is part of the run's (chaos) configuration: record it so
+  // replays of the same seeds hash identically and diagnosable traces
+  // show where the adversary struck.
+  trace_.record(now_, p, EventKind::kNote, "chaos.crash", RegVal());
 }
 
 void World::enableAudit(AuditMode mode) {

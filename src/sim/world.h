@@ -8,6 +8,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
+#include <string>
 
 #include "fd/failure_detector.h"
 #include "sim/failure_pattern.h"
@@ -17,6 +19,16 @@
 #include "sim/trace.h"
 
 namespace wfd::sim {
+
+// A mis-configured or impossible simulator operation (an algorithm
+// querying an FD when none is installed, a proposal vector of the wrong
+// arity, ...). Thrown instead of assert/abort so that a perturbed run
+// always terminates with a diagnosable error the chaos watchdog — or any
+// caller — can catch and report (sim/watchdog.h).
+class SimAbort : public std::runtime_error {
+ public:
+  explicit SimAbort(const std::string& what) : std::runtime_error(what) {}
+};
 
 // Which atomic-snapshot implementation Env::snapshot handles use.
 enum class SnapshotFlavor {
@@ -41,6 +53,13 @@ class World {
   [[nodiscard]] Time now() const { return now_; }
   void advanceClock() { ++now_; }
 
+  // Chaos crash injection (sim/chaos.h): crash p at the current time.
+  // The scheduler's runnable() consults the mutated pattern, so p takes
+  // no further steps — exactly run condition (1). Outside the chaos
+  // engine this is off-limits (tools/model_lint.py bans it): a run's
+  // failure pattern is otherwise part of its immutable configuration.
+  void injectCrash(Pid p);
+
   ObjectTable& objects() { return objects_; }
   [[nodiscard]] const ObjectTable& objectsConst() const { return objects_; }
   Trace& trace() { return trace_; }
@@ -57,8 +76,13 @@ class World {
   [[nodiscard]] StepAuditor* auditor() const { return audit_.get(); }
   // Called when the run ends (Run::finish): post-run inspection of the
   // object table by tests/checkers is not shared-memory traffic and must
-  // not be audited. The auditor itself stays for report inspection.
-  void endAuditObservation() { objects_.setObserver(nullptr); }
+  // not be audited. The auditor itself stays for report inspection. Also
+  // closes out the end-of-run FD-axiom conditions (idempotent), which in
+  // kThrow mode may raise StepAuditError.
+  void endAuditObservation() {
+    objects_.setObserver(nullptr);
+    if (audit_) audit_->finalizeFdAxioms();
+  }
 
   // Emulated-FD outputs (the paper's distributed variable D-output_i).
   // Readable by scheduling policies (adversaries) and checkers at zero

@@ -135,6 +135,49 @@ TEST(TraceHash, OpStreamAloneDistinguishesRuns) {
   EXPECT_NE(h_w, h_r);
 }
 
+// The digest folds operation RESULTS, not just the op stream: two runs
+// whose processes issue bit-identical op sequences (query the FD and
+// ignore the answer) but receive different responses must hash
+// differently. Before results were folded this was a blind spot: a
+// nondeterministic object or detector implementation could diverge
+// without moving the hash.
+TEST(TraceHash, FdAnswerResultsFoldIntoHash) {
+  const auto fdBlind = [](Env& e, Value) -> sim::Coro<sim::Unit> {
+    for (int i = 0; i < 8; ++i) (void)co_await e.queryFd();
+    co_return sim::Unit{};
+  };
+  const auto runWithNoise = [&](std::uint64_t noise_seed) {
+    RunConfig cfg;
+    cfg.n_plus_1 = 3;
+    const auto fp = FailurePattern::failureFree(3);
+    cfg.fp = fp;
+    // Never stabilizes within the run: every answer is seed-driven noise.
+    cfg.fd = fd::makeUpsilon(fp, /*stab_time=*/1'000'000, noise_seed);
+    cfg.seed = 7;  // same schedule seed: op streams are identical
+    cfg.policy = sim::PolicyKind::kRoundRobin;
+    return sim::runTask(cfg, fdBlind, {0, 0, 0});
+  };
+  const RunResult a = runWithNoise(1);
+  const RunResult b = runWithNoise(2);
+  ASSERT_EQ(a.steps, b.steps);  // the schedules really are identical
+  EXPECT_NE(a.trace().hash64(), b.trace().hash64())
+      << "FD answers differ but the hash does not cover op results";
+  EXPECT_EQ(runWithNoise(1).trace().hash64(), a.trace().hash64());
+}
+
+// Unit-level: mixResult moves the digest even after identical mixOp
+// streams (the mechanism behind the end-to-end test above).
+TEST(TraceHash, MixResultMovesTheDigest) {
+  sim::Trace a;
+  sim::Trace b;
+  a.mixOp(0, 0, 42);
+  b.mixOp(0, 0, 42);
+  ASSERT_EQ(a.hash64(), b.hash64());
+  a.mixResult(1);
+  b.mixResult(2);
+  EXPECT_NE(a.hash64(), b.hash64());
+}
+
 // RegVal::hash64 feeds the digest: structurally different values hash
 // differently, equal values hash identically.
 TEST(TraceHash, RegValHashIsStructural) {

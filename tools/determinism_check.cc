@@ -15,7 +15,10 @@
 //     the trace hash, and must report zero violations on every legal
 //     algorithm;
 //   * seed sensitivity: distinct seeds must produce distinct hashes on a
-//     smoke workload (the hash actually covers the op stream).
+//     smoke workload (the hash actually covers the op stream);
+//   * result sensitivity: the hash folds operation RESULTS (read values,
+//     scan views, FD answers), so runs with identical op streams but
+//     diverging responses cannot replay as hash-equal.
 #include <cstdio>
 #include <map>
 #include <set>
@@ -187,6 +190,33 @@ void seedSensitivity() {
             " unique)");
 }
 
+void resultSensitivity() {
+  std::puts("Result sensitivity (hash covers op responses):");
+  // Processes query the FD and discard the answer: the op stream is
+  // independent of the detector's noise seed, so only the folded-in
+  // query RESULTS can distinguish these runs.
+  const auto fdBlind = [](Env& e, Value) -> sim::Coro<sim::Unit> {
+    for (int i = 0; i < 8; ++i) (void)co_await e.queryFd();
+    co_return sim::Unit{};
+  };
+  const auto runWithNoise = [&](std::uint64_t noise_seed) {
+    const int n_plus_1 = 3;
+    const auto fp = FailurePattern::failureFree(n_plus_1);
+    RunConfig cfg;
+    cfg.n_plus_1 = n_plus_1;
+    cfg.fp = fp;
+    cfg.fd = fd::makeUpsilon(fp, /*stab_time=*/1'000'000, noise_seed);
+    cfg.seed = 7;
+    cfg.policy = sim::PolicyKind::kRoundRobin;
+    return sim::runTask(cfg, fdBlind, {0, 0, 0});
+  };
+  const RunResult a = runWithNoise(1);
+  const RunResult b = runWithNoise(2);
+  check(a.steps == b.steps, "fd-blind: identical op streams");
+  check(a.trace().hash64() != b.trace().hash64(),
+        "fd-blind: diverging FD answers diverge the hash");
+}
+
 }  // namespace
 
 int main() {
@@ -197,6 +227,7 @@ int main() {
   adversaryWorkloads();
   bgWorkloads();
   seedSensitivity();
+  resultSensitivity();
   if (g_failures > 0) {
     std::printf("\ndeterminism check FAILED: %d divergence(s)\n", g_failures);
     return 1;

@@ -18,6 +18,15 @@ guarantees:
                      state must flow through Env's atomic-step awaitables
                      (the step auditor enforces this dynamically; the lint
                      catches it before the code ever runs)
+  fp-mutation        injectCrash(...) outside src/sim: the failure pattern
+                     is environment state; only the simulator (and its
+                     chaos engine, which enforces the legality contract in
+                     docs/CHAOS.md) may mutate F mid-run
+
+The harness-facing trees bench/ and examples/ are linted too: their runs
+feed EXPERIMENTS.md rows and documentation, so the same determinism rules
+bind (wall-clock timing benches annotate the measurement lines with
+`model-lint-allow`).
 
 Run as a ctest test (tools.model_lint). `--self-test` proves every rule
 fires on a violating snippet and stays silent on clean code.
@@ -32,7 +41,10 @@ import sys
 RULES = [
     (
         "libc-rand",
-        re.compile(r"\b(?:rand|srand|rand_r|random|srandom)\s*\("),
+        # The lookbehind exempts qualified/member calls such as the seeded
+        # FailurePattern::random(...) factory: the rule targets the libc
+        # process-global functions only.
+        re.compile(r"(?<![\w:.>])(?:rand|srand|rand_r|random|srandom)\s*\("),
         "libc RNG is process-global and unseeded per run; use common/rng.h "
         "(seeded xoshiro) or hashedUniform",
     ),
@@ -67,10 +79,19 @@ RULES = [
         "awaitables, never through World/ObjectTable directly (keeps step "
         "accounting honest; audited dynamically by sim/step_audit.h)",
     ),
+    (
+        "fp-mutation",
+        re.compile(r"\binjectCrash\s*\("),
+        "the failure pattern is environment state: only src/sim (the "
+        "scheduler and the chaos engine, which enforces the legality "
+        "contract in docs/CHAOS.md) may crash processes mid-run; "
+        "workloads describe crashes up front via FailurePattern factories",
+    ),
 ]
 
 # Directories whose sources the model rules bind (relative to --root).
-LINTED_DIRS = ["src/core", "src/fd", "src/memory"]
+# src/sim itself is exempt: it IS the machinery the rules protect.
+LINTED_DIRS = ["src/core", "src/fd", "src/memory", "bench", "examples"]
 EXTENSIONS = {".h", ".cc"}
 
 
@@ -153,6 +174,7 @@ VIOLATING_SNIPPETS = {
     "chrono-clock-now": "auto t0 = std::chrono::steady_clock::now();\n",
     "unordered-iter": "std::unordered_map<int, int> seen;\n",
     "direct-world": "void rogue(Env& env) { env.world()->objects(); }\n",
+    "fp-mutation": "void rogue(World& w) { w.injectCrash(2); }\n",
 }
 
 CLEAN_SNIPPET = """\
@@ -164,6 +186,7 @@ Coro<Unit> algo(Env& env, Value v) {
   co_await env.write(r, RegVal(v));           // one op per step
   const auto res = co_await env.read(r);
   std::map<int, int> ordered;                 // deterministic iteration
+  const auto fp = FailurePattern::random(4, 2, 60, 7);  // seeded factory
   const char* s = "call rand() at time(0) on world()";  // string, not code
   env.decide(res.scalar.asInt());
   co_return Unit{};
