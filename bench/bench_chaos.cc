@@ -1,4 +1,5 @@
-// E16: chaos certification — thousands of injector-composed runs.
+// E16: chaos certification — thousands of injector-composed runs, sharded
+// across a worker pool (sim/batch.h).
 //
 // Three campaigns over the Fig. 1 / Fig. 2 / Fig. 3 workloads:
 //   * legal:    seed-indexed compositions of legal injectors (crash
@@ -13,13 +14,21 @@
 //     to query its detector). Certifies 100% detection: every run ends
 //     in kAxiomViolation.
 //   * replay:   a sample of chaos runs is re-executed and must reproduce
-//     verdict, step count and trace hash bit-for-bit.
+//     verdict, step count and trace hash bit-for-bit. With --jobs > 1 the
+//     two executions land on different workers, so this also certifies
+//     the batch determinism contract on every invocation.
+//
+// Each (seed, workload) pair is one BatchCell; driveWatchedBatch shards
+// them over --jobs workers (default: all hardware) and returns results in
+// submission order, so the certification logic below is identical at any
+// pool size. The soak also prints an (injector x workload) coverage
+// matrix — which chaos cells this run actually visited (ROADMAP item) —
+// and `--json out.json` records runs, wall time and steps/s per campaign.
 //
 // --quick shrinks the campaign for CI smoke; the full depth (>= 5,000
 // legal + >= 1,000 negative runs) is the scheduled soak and the numbers
 // quoted in EXPERIMENTS.md row E16.
 #include <cstdio>
-#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
@@ -29,6 +38,8 @@
 namespace {
 
 using namespace wfd;
+using sim::BatchCell;
+using sim::CellResult;
 using sim::ChaosConfig;
 using sim::CrashInjection;
 using sim::Env;
@@ -83,14 +94,72 @@ ChaosConfig legalChaos(std::uint64_t seed, int n_plus_1, int max_faulty,
   return c;
 }
 
+// ---- (injector x workload) coverage matrix (ROADMAP chaos follow-up) ----
+
+using CoverageMatrix = std::map<std::string, std::map<std::string, int>>;
+
+const char* crashStrategyName(CrashInjection::Strategy s) {
+  switch (s) {
+    case CrashInjection::Strategy::kAtTime: return "crash:at-time";
+    case CrashInjection::Strategy::kRandom: return "crash:random";
+    case CrashInjection::Strategy::kFdLeader: return "crash:fd-leader";
+    case CrashInjection::Strategy::kOnDecide: return "crash:on-decide";
+  }
+  return "crash:?";
+}
+
+void recordCoverage(CoverageMatrix& m, const std::string& workload,
+                    const ChaosConfig& c) {
+  std::vector<std::string> active;
+  if (c.glitch.kind != GlitchKind::kNone) {
+    active.push_back(std::string("glitch:") + sim::glitchName(c.glitch.kind));
+  }
+  for (const auto& cr : c.crashes) {
+    active.push_back(crashStrategyName(cr.strategy));
+  }
+  if (!c.starvation.empty()) active.push_back("sched:starvation");
+  if (c.op_delay.has_value()) active.push_back("sched:op-delay");
+  if (active.empty()) active.push_back("(no injector)");
+  std::sort(active.begin(), active.end());
+  active.erase(std::unique(active.begin(), active.end()), active.end());
+  for (const auto& a : active) ++m[a][workload];
+}
+
+void printCoverage(const CoverageMatrix& m,
+                   const std::vector<std::string>& workloads) {
+  bench::banner("(injector x workload) coverage — cells visited this soak");
+  std::vector<std::string> headers{"injector"};
+  headers.insert(headers.end(), workloads.begin(), workloads.end());
+  bench::Table t(std::move(headers));
+  for (const auto& [injector, per_wl] : m) {
+    std::vector<std::string> row{injector};
+    for (const auto& wl : workloads) {
+      const auto it = per_wl.find(wl);
+      row.push_back(it == per_wl.end() ? "-" : bench::fmt(it->second));
+    }
+    t.addRow(std::move(row));
+  }
+  t.print();
+}
+
+// ---- Campaign aggregation ------------------------------------------------
+
 struct CampaignStats {
   std::map<RunVerdict, int> verdicts;
   int runs = 0;
+  int errors = 0;
   int agreement_failures = 0;
+  long long total_steps = 0;
 
-  void add(RunVerdict v) {
+  void add(const CellResult& r) {
     ++runs;
-    ++verdicts[v];
+    total_steps += r.steps;
+    if (r.error) {
+      ++errors;
+      return;
+    }
+    ++verdicts[r.verdict];
+    if (!r.check_ok) ++agreement_failures;
   }
   [[nodiscard]] int count(RunVerdict v) const {
     const auto it = verdicts.find(v);
@@ -142,89 +211,119 @@ RunConfig fig3Config(std::uint64_t seed) {
   return cfg;
 }
 
-CampaignStats legalFig1(int runs) {
-  CampaignStats st;
+// Post-hook: certify k-set agreement on the worker, while the trace is
+// still alive; only the verdict string survives into the CellResult.
+sim::CellPost agreementCheck(int k, std::vector<Value> props) {
+  return [k, props = std::move(props)](const RunReport& rep,
+                                       CellResult& out) {
+    if (rep.verdict != RunVerdict::kOk) return;
+    const auto check = core::checkKSetAgreement(rep.result, k, props);
+    if (!check.ok()) {
+      out.check_ok = false;
+      out.check_detail = check.violation;
+    }
+  };
+}
+
+BatchCell fig1Cell(std::uint64_t seed, const std::vector<Value>& props) {
+  BatchCell cell;
+  cell.cfg = fig1Config(seed);
+  cell.chaos = legalChaos(seed, 4, /*max_faulty=*/2, {});
+  cell.watchdog = WatchdogConfig{3'000'000, 0, 3};
+  cell.algo = [](Env& e, Value v) { return core::upsilonSetAgreement(e, v); };
+  cell.proposals = props;
+  cell.post = agreementCheck(3, props);
+  return cell;
+}
+
+CampaignStats legalFig1(int runs, const sim::BatchOptions& opts,
+                        CoverageMatrix& cover) {
   const auto props = std::vector<Value>{100, 101, 102, 103};
+  std::vector<BatchCell> cells;
+  cells.reserve(static_cast<std::size_t>(runs));
   for (int i = 0; i < runs; ++i) {
     const std::uint64_t seed = static_cast<std::uint64_t>(i) + 1;
-    const RunConfig cfg = fig1Config(seed);
-    const ChaosConfig chaos = legalChaos(seed, 4, /*max_faulty=*/2, {});
-    const RunReport rep =
-        runChaosTask(cfg, chaos, WatchdogConfig{3'000'000, 0, 3},
-                     [](Env& e, Value v) {
-                       return core::upsilonSetAgreement(e, v);
-                     },
-                     props);
-    st.add(rep.verdict);
-    require(rep.verdict != RunVerdict::kSafetyViolation,
-            "fig1 seed " + std::to_string(seed) + ": " + rep.detail);
-    require(rep.verdict != RunVerdict::kAxiomViolation,
-            "fig1 seed " + std::to_string(seed) +
-                " flagged a LEGAL injector: " + rep.detail);
-    if (rep.verdict == RunVerdict::kOk) {
-      const auto check = core::checkKSetAgreement(rep.result, 3, props);
-      if (!check.ok()) {
-        ++st.agreement_failures;
-        require(false, "fig1 seed " + std::to_string(seed) + ": " +
-                           check.violation);
-      }
-    }
+    cells.push_back(fig1Cell(seed, props));
+    recordCoverage(cover, "fig1", *cells.back().chaos);
+  }
+  const auto results = driveWatchedBatch(cells, opts);
+  CampaignStats st;
+  for (const CellResult& r : results) {
+    st.add(r);
+    const std::string seed = std::to_string(r.index + 1);
+    require(!r.error, "fig1 seed " + seed + " errored: " + r.detail);
+    require(r.verdict != RunVerdict::kSafetyViolation,
+            "fig1 seed " + seed + ": " + r.detail);
+    require(r.verdict != RunVerdict::kAxiomViolation,
+            "fig1 seed " + seed + " flagged a LEGAL injector: " + r.detail);
+    require(r.check_ok, "fig1 seed " + seed + ": " + r.check_detail);
   }
   return st;
 }
 
-CampaignStats legalFig2(int runs) {
-  CampaignStats st;
+CampaignStats legalFig2(int runs, const sim::BatchOptions& opts,
+                        CoverageMatrix& cover) {
   const auto props = std::vector<Value>{100, 101, 102, 103, 104};
+  std::vector<BatchCell> cells;
+  cells.reserve(static_cast<std::size_t>(runs));
   for (int i = 0; i < runs; ++i) {
     const std::uint64_t seed = static_cast<std::uint64_t>(i) + 1;
-    const RunConfig cfg = fig2Config(seed);
+    BatchCell cell;
+    cell.cfg = fig2Config(seed);
     // E_2: the pre-seeded crash plus at most one injected.
-    const ChaosConfig chaos = legalChaos(seed, 5, /*max_faulty=*/2, {});
-    const RunReport rep =
-        runChaosTask(cfg, chaos, WatchdogConfig{4'000'000, 0, 2},
-                     [](Env& e, Value v) {
-                       return core::upsilonFSetAgreement(e, 2, v);
-                     },
-                     props);
-    st.add(rep.verdict);
-    require(rep.verdict != RunVerdict::kSafetyViolation,
-            "fig2 seed " + std::to_string(seed) + ": " + rep.detail);
-    require(rep.verdict != RunVerdict::kAxiomViolation,
-            "fig2 seed " + std::to_string(seed) +
-                " flagged a LEGAL injector: " + rep.detail);
-    if (rep.verdict == RunVerdict::kOk) {
-      const auto check = core::checkKSetAgreement(rep.result, 2, props);
-      if (!check.ok()) {
-        ++st.agreement_failures;
-        require(false, "fig2 seed " + std::to_string(seed) + ": " +
-                           check.violation);
-      }
-    }
+    cell.chaos = legalChaos(seed, 5, /*max_faulty=*/2, {});
+    cell.watchdog = WatchdogConfig{4'000'000, 0, 2};
+    cell.algo = [](Env& e, Value v) {
+      return core::upsilonFSetAgreement(e, 2, v);
+    };
+    cell.proposals = props;
+    cell.post = agreementCheck(2, props);
+    recordCoverage(cover, "fig2", *cell.chaos);
+    cells.push_back(std::move(cell));
+  }
+  const auto results = driveWatchedBatch(cells, opts);
+  CampaignStats st;
+  for (const CellResult& r : results) {
+    st.add(r);
+    const std::string seed = std::to_string(r.index + 1);
+    require(!r.error, "fig2 seed " + seed + " errored: " + r.detail);
+    require(r.verdict != RunVerdict::kSafetyViolation,
+            "fig2 seed " + seed + ": " + r.detail);
+    require(r.verdict != RunVerdict::kAxiomViolation,
+            "fig2 seed " + seed + " flagged a LEGAL injector: " + r.detail);
+    require(r.check_ok, "fig2 seed " + seed + ": " + r.check_detail);
   }
   return st;
 }
 
-CampaignStats legalFig3(int runs) {
-  CampaignStats st;
+CampaignStats legalFig3(int runs, const sim::BatchOptions& opts,
+                        CoverageMatrix& cover) {
   const auto phi = core::phiOmegaK(4);
+  std::vector<BatchCell> cells;
+  cells.reserve(static_cast<std::size_t>(runs));
   for (int i = 0; i < runs; ++i) {
     const std::uint64_t seed = static_cast<std::uint64_t>(i) + 1;
-    const RunConfig cfg = fig3Config(seed);
+    BatchCell cell;
+    cell.cfg = fig3Config(seed);
     // The extraction's Omega leader (p1, the lowest-id correct process)
     // anchors the detector's axioms: protect it from crash injection.
-    const ChaosConfig chaos =
-        legalChaos(seed, 4, /*max_faulty=*/2, ProcSet{0});
-    const RunReport rep = runChaosTask(
-        cfg, chaos, WatchdogConfig{/*step_budget=*/15'000, 0, 0},
-        [phi](Env& e, Value) { return core::extractUpsilonF(e, phi); },
-        std::vector<Value>(4, 0));
-    st.add(rep.verdict);
+    cell.chaos = legalChaos(seed, 4, /*max_faulty=*/2, ProcSet{0});
+    cell.watchdog = WatchdogConfig{/*step_budget=*/15'000, 0, 0};
+    cell.algo = [phi](Env& e, Value) { return core::extractUpsilonF(e, phi); };
+    cell.proposals = std::vector<Value>(4, 0);
+    recordCoverage(cover, "fig3", *cell.chaos);
+    cells.push_back(std::move(cell));
+  }
+  const auto results = driveWatchedBatch(cells, opts);
+  CampaignStats st;
+  for (const CellResult& r : results) {
+    st.add(r);
     // Runs-forever workload: the ONLY acceptable outcome is a structured
     // budget cutoff — anything else is a certification failure.
-    require(rep.verdict == RunVerdict::kBudgetExhausted,
-            "fig3 seed " + std::to_string(seed) + ": " +
-                sim::runVerdictName(rep.verdict) + " " + rep.detail);
+    require(!r.error && r.verdict == RunVerdict::kBudgetExhausted,
+            "fig3 seed " + std::to_string(r.index + 1) + ": " +
+                (r.error ? "error" : sim::runVerdictName(r.verdict)) + " " +
+                r.detail);
   }
   return st;
 }
@@ -241,56 +340,66 @@ sim::AlgoFn fdSampler() {
 struct NegativeStats {
   int runs = 0;
   int detected = 0;
+  long long total_steps = 0;
 };
 
-NegativeStats negativeControls(int runs_per_kind) {
-  NegativeStats st;
+NegativeStats negativeControls(int runs_per_kind,
+                               const sim::BatchOptions& opts,
+                               CoverageMatrix& cover) {
   const auto props4 = std::vector<Value>{0, 0, 0, 0};
   const GlitchKind upsilon_kinds[] = {
       GlitchKind::kEmptyAnswer, GlitchKind::kUndersizedAnswer,
       GlitchKind::kPostStabFlap, GlitchKind::kStabToCorrect};
+  std::vector<BatchCell> cells;
+  std::vector<std::string> labels;
   for (const GlitchKind kind : upsilon_kinds) {
     for (int i = 0; i < runs_per_kind; ++i) {
       const std::uint64_t seed = static_cast<std::uint64_t>(i) + 1;
-      RunConfig cfg;
-      cfg.n_plus_1 = 4;
-      cfg.fp = FailurePattern::failureFree(4);
-      cfg.fd = fd::makeUpsilonF(*cfg.fp, 2, /*stab=*/0, seed);
-      cfg.seed = seed * 3 + 1;
+      BatchCell cell;
+      cell.cfg.n_plus_1 = 4;
+      cell.cfg.fp = FailurePattern::failureFree(4);
+      cell.cfg.fd = fd::makeUpsilonF(*cell.cfg.fp, 2, /*stab=*/0, seed);
+      cell.cfg.seed = seed * 3 + 1;
       ChaosConfig chaos;
       chaos.glitch = {kind, 0, seed};
-      const RunReport rep = runChaosTask(
-          cfg, chaos, WatchdogConfig{200'000, 0, 0}, fdSampler(), props4);
-      ++st.runs;
-      if (rep.verdict == RunVerdict::kAxiomViolation) {
-        ++st.detected;
-      } else {
-        require(false, std::string("negative control ") +
-                           sim::glitchName(kind) + " seed " +
-                           std::to_string(seed) + " escaped: " +
-                           sim::runVerdictName(rep.verdict));
-      }
+      cell.chaos = chaos;
+      cell.watchdog = WatchdogConfig{200'000, 0, 0};
+      cell.algo = fdSampler();
+      cell.proposals = props4;
+      recordCoverage(cover, "negative", chaos);
+      labels.push_back(std::string(sim::glitchName(kind)) + " seed " +
+                       std::to_string(seed));
+      cells.push_back(std::move(cell));
     }
   }
   // Omega^k end-condition control needs faulty processes to stabilize on.
   for (int i = 0; i < runs_per_kind; ++i) {
     const std::uint64_t seed = static_cast<std::uint64_t>(i) + 1;
-    RunConfig cfg;
-    cfg.n_plus_1 = 4;
-    cfg.fp = FailurePattern::withCrashes(4, {{2, 10}, {3, 10}});
-    cfg.fd = fd::makeOmegaK(*cfg.fp, 2, /*stab=*/0, seed);
-    cfg.seed = seed * 5 + 2;
+    BatchCell cell;
+    cell.cfg.n_plus_1 = 4;
+    cell.cfg.fp = FailurePattern::withCrashes(4, {{2, 10}, {3, 10}});
+    cell.cfg.fd = fd::makeOmegaK(*cell.cfg.fp, 2, /*stab=*/0, seed);
+    cell.cfg.seed = seed * 5 + 2;
     ChaosConfig chaos;
     chaos.glitch = {GlitchKind::kStabExcludeCorrect, 0, seed};
-    const RunReport rep = runChaosTask(
-        cfg, chaos, WatchdogConfig{200'000, 0, 0}, fdSampler(), props4);
+    cell.chaos = chaos;
+    cell.watchdog = WatchdogConfig{200'000, 0, 0};
+    cell.algo = fdSampler();
+    cell.proposals = props4;
+    recordCoverage(cover, "negative", chaos);
+    labels.push_back("stab-exclude-correct seed " + std::to_string(seed));
+    cells.push_back(std::move(cell));
+  }
+  const auto results = driveWatchedBatch(cells, opts);
+  NegativeStats st;
+  for (const CellResult& r : results) {
     ++st.runs;
-    if (rep.verdict == RunVerdict::kAxiomViolation) {
+    st.total_steps += r.steps;
+    if (!r.error && r.verdict == RunVerdict::kAxiomViolation) {
       ++st.detected;
     } else {
-      require(false, "negative control stab-exclude-correct seed " +
-                         std::to_string(seed) + " escaped: " +
-                         sim::runVerdictName(rep.verdict));
+      require(false, "negative control " + labels[r.index] + " escaped: " +
+                         (r.error ? r.detail : sim::runVerdictName(r.verdict)));
     }
   }
   return st;
@@ -298,24 +407,31 @@ NegativeStats negativeControls(int runs_per_kind) {
 
 // ---- Replay determinism ----
 
-int replayDeterminism(int pairs) {
-  int ok = 0;
+int replayDeterminism(int pairs, const sim::BatchOptions& opts) {
   const auto props = std::vector<Value>{100, 101, 102, 103};
+  // Submit each seed's run twice in one batch: with jobs > 1 the two
+  // executions land on different workers, so bit-identical results also
+  // certify that pool size cannot leak into a run.
+  std::vector<BatchCell> cells;
+  for (int rep = 0; rep < 2; ++rep) {
+    for (int i = 0; i < pairs; ++i) {
+      const std::uint64_t seed = static_cast<std::uint64_t>(i) * 997 + 13;
+      cells.push_back(fig1Cell(seed, props));
+    }
+  }
+  const auto results = driveWatchedBatch(cells, opts);
+  int ok = 0;
   for (int i = 0; i < pairs; ++i) {
-    const std::uint64_t seed = static_cast<std::uint64_t>(i) * 997 + 13;
-    const ChaosConfig chaos = legalChaos(seed, 4, 2, {});
-    const WatchdogConfig wd{3'000'000, 0, 3};
-    const auto algo = [](Env& e, Value v) {
-      return core::upsilonSetAgreement(e, v);
-    };
-    const RunReport a = runChaosTask(fig1Config(seed), chaos, wd, algo, props);
-    const RunReport b = runChaosTask(fig1Config(seed), chaos, wd, algo, props);
-    const bool same = a.verdict == b.verdict && a.steps == b.steps &&
-                      a.result.trace().hash64() == b.result.trace().hash64();
+    const CellResult& a = results[static_cast<std::size_t>(i)];
+    const CellResult& b = results[static_cast<std::size_t>(i + pairs)];
+    const bool same = !a.error && !b.error && a.verdict == b.verdict &&
+                      a.steps == b.steps && a.trace_hash == b.trace_hash;
     if (same) {
       ++ok;
     } else {
-      require(false, "replay divergence at seed " + std::to_string(seed));
+      require(false, "replay divergence at seed " +
+                         std::to_string(static_cast<std::uint64_t>(i) * 997 +
+                                        13));
     }
   }
   return ok;
@@ -324,10 +440,10 @@ int replayDeterminism(int pairs) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
-  }
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  const bool quick = args.quick;
+  const sim::BatchOptions opts{args.jobs};
+  const int jobs = sim::resolveJobs(args.jobs);
   // Full depth: >= 5,000 legal runs + >= 1,000 negative controls (the
   // numbers EXPERIMENTS.md row E16 quotes). --quick is the CI smoke.
   const int fig1_runs = quick ? 160 : 2200;
@@ -336,13 +452,16 @@ int main(int argc, char** argv) {
   const int neg_per_kind = quick ? 12 : 200;
   const int replay_pairs = quick ? 6 : 25;
 
-  bench::banner(quick ? "chaos certification (--quick)"
-                      : "chaos certification (full depth)");
-  const CampaignStats f1 = legalFig1(fig1_runs);
-  const CampaignStats f2 = legalFig2(fig2_runs);
-  const CampaignStats f3 = legalFig3(fig3_runs);
-  const NegativeStats neg = negativeControls(neg_per_kind);
-  const int replays_ok = replayDeterminism(replay_pairs);
+  std::printf("\n=== chaos certification (%s, jobs=%d) ===\n",
+              quick ? "--quick" : "full depth", jobs);
+  const bench::WallTimer wall;
+  CoverageMatrix cover;
+  const CampaignStats f1 = legalFig1(fig1_runs, opts, cover);
+  const CampaignStats f2 = legalFig2(fig2_runs, opts, cover);
+  const CampaignStats f3 = legalFig3(fig3_runs, opts, cover);
+  const NegativeStats neg = negativeControls(neg_per_kind, opts, cover);
+  const int replays_ok = replayDeterminism(replay_pairs, opts);
+  const double wall_s = wall.seconds();
 
   bench::Table t({"campaign", "runs", "verdicts", "safety viol",
                   "certified"});
@@ -356,13 +475,13 @@ int main(int argc, char** argv) {
                        f1.agreement_failures),
             bench::passFail(f1.count(RunVerdict::kSafetyViolation) == 0 &&
                             f1.count(RunVerdict::kAxiomViolation) == 0 &&
-                            f1.agreement_failures == 0)});
+                            f1.agreement_failures == 0 && f1.errors == 0)});
   t.addRow({"legal fig2 (f-res, k=2)", bench::fmt(f2.runs), f2.histogram(),
             bench::fmt(f2.count(RunVerdict::kSafetyViolation) +
                        f2.agreement_failures),
             bench::passFail(f2.count(RunVerdict::kSafetyViolation) == 0 &&
                             f2.count(RunVerdict::kAxiomViolation) == 0 &&
-                            f2.agreement_failures == 0)});
+                            f2.agreement_failures == 0 && f2.errors == 0)});
   t.addRow({"legal fig3 (extraction)", bench::fmt(f3.runs), f3.histogram(),
             bench::fmt(f3.count(RunVerdict::kSafetyViolation)),
             bench::passFail(f3.count(RunVerdict::kBudgetExhausted) ==
@@ -374,11 +493,56 @@ int main(int argc, char** argv) {
             "bit-identical=" + std::to_string(replays_ok), "-",
             bench::passFail(replays_ok == replay_pairs)});
   t.print();
+  printCoverage(cover, {"fig1", "fig2", "fig3", "negative"});
+
+  const long long total_steps = f1.total_steps + f2.total_steps +
+                                f3.total_steps + neg.total_steps;
+  const int total_runs =
+      f1.runs + f2.runs + f3.runs + neg.runs + 2 * replay_pairs;
   std::printf(
       "legal runs: %d, safety violations: %d; negative controls: %d/%d "
       "detected (%.1f%%)\n",
       f1.runs + f2.runs + f3.runs, legal_safety, neg.detected, neg.runs,
       neg.runs > 0 ? 100.0 * neg.detected / neg.runs : 0.0);
+  std::printf("wall %.2fs at jobs=%d — %d runs, %.0f steps/s\n", wall_s, jobs,
+              total_runs, wall_s > 0 ? total_steps / wall_s : 0.0);
+
+  if (!args.json_path.empty()) {
+    bench::JsonWriter json("bench_chaos", jobs);
+    json.note("mode", quick ? "quick" : "full");
+    json.metric("wall_s", wall_s);
+    json.metric("total_runs", total_runs);
+    json.metric("total_steps", static_cast<double>(total_steps));
+    json.metric("steps_per_s", wall_s > 0 ? total_steps / wall_s : 0.0);
+    json.metric("failures", g_failures);
+    json.row("legal_fig1",
+             {{"runs", static_cast<double>(f1.runs)},
+              {"ok", static_cast<double>(f1.count(RunVerdict::kOk))},
+              {"safety_violations",
+               static_cast<double>(f1.count(RunVerdict::kSafetyViolation) +
+                                   f1.agreement_failures)},
+              {"steps", static_cast<double>(f1.total_steps)}});
+    json.row("legal_fig2",
+             {{"runs", static_cast<double>(f2.runs)},
+              {"ok", static_cast<double>(f2.count(RunVerdict::kOk))},
+              {"safety_violations",
+               static_cast<double>(f2.count(RunVerdict::kSafetyViolation) +
+                                   f2.agreement_failures)},
+              {"steps", static_cast<double>(f2.total_steps)}});
+    json.row("legal_fig3",
+             {{"runs", static_cast<double>(f3.runs)},
+              {"budget_exhausted",
+               static_cast<double>(f3.count(RunVerdict::kBudgetExhausted))},
+              {"steps", static_cast<double>(f3.total_steps)}});
+    json.row("negative_controls",
+             {{"runs", static_cast<double>(neg.runs)},
+              {"detected", static_cast<double>(neg.detected)}});
+    json.row("replay_determinism",
+             {{"pairs", static_cast<double>(replay_pairs)},
+              {"bit_identical", static_cast<double>(replays_ok)}});
+    json.write(args.json_path);
+  }
+
   if (g_failures > 0) {
     std::printf("\nchaos certification FAILED: %d finding(s)\n", g_failures);
     return 1;

@@ -8,42 +8,79 @@
 //   forever (switch count grows linearly in the horizon, table 2) or to
 //   freeze on a value that a legal crash pattern renders illegal
 //   (table 3).
+//
+// The easy-direction sweep is (row x seed)-parallel: all cells go into
+// one batch (sim/batch.h) sharded over --jobs workers, with the Omega^k
+// history per (pattern, stab, seed) built once in a shared FdCache. The
+// hard-direction chases are inherently sequential adversary/candidate
+// dialogues and stay serial.
 #include "bench_util.h"
 
 namespace wfd {
 namespace {
 
 using bench::Table;
+using sim::BatchCell;
+using sim::CellResult;
 using sim::Env;
 using sim::FailurePattern;
 
-void easyDirection() {
-  bench::banner("E4a — easy direction: Omega_n -> Upsilon (complementation)");
-  Table t({"n+1", "stab(Omega_n)", "emulation last change", "axioms"});
+void easyDirection(const bench::BenchArgs& args) {
+  const sim::BatchRunner runner(sim::BatchOptions{args.jobs});
+  std::printf(
+      "\n=== E4a — easy direction: Omega_n -> Upsilon (complementation), "
+      "jobs=%d ===\n",
+      runner.jobs());
+  struct Row {
+    int n_plus_1;
+    Time stab;
+  };
+  std::vector<Row> rows;
   for (int n_plus_1 : {3, 4, 5, 6}) {
-    for (const Time stab : {100L, 1000L}) {
-      bool ok = true;
-      std::vector<Time> last;
-      for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    for (const Time stab : {100L, 1000L}) rows.push_back({n_plus_1, stab});
+  }
+  constexpr std::size_t kSeeds = 10;
+  sim::FdCache fds;
+  const auto results = runner.run(
+      rows.size() * kSeeds, [&rows, &fds](std::size_t i) {
+        const Row& r = rows[i / kSeeds];
+        const std::uint64_t seed = static_cast<std::uint64_t>(i % kSeeds) + 1;
         const auto fp =
-            FailurePattern::random(n_plus_1, n_plus_1 - 1, 60, seed * 3);
-        sim::RunConfig cfg;
-        cfg.n_plus_1 = n_plus_1;
-        cfg.fp = fp;
-        cfg.fd = fd::makeOmegaK(fp, n_plus_1 - 1, stab, seed);
-        cfg.seed = seed;
-        cfg.max_steps = stab * 3 + 30'000;
-        const auto rr = sim::runTask(
-            cfg, [](Env& e, Value) { return core::omegaKToUpsilonF(e); },
-            std::vector<Value>(static_cast<std::size_t>(n_plus_1), 0));
-        const auto rep = core::checkEmulatedUpsilonF(rr, n_plus_1 - 1);
-        ok = ok && rep.ok();
-        last.push_back(rep.last_change);
-      }
-      t.addRow({bench::fmt(n_plus_1), bench::fmt(stab),
-                bench::fmt(bench::median(std::move(last))),
-                bench::passFail(ok)});
+            FailurePattern::random(r.n_plus_1, r.n_plus_1 - 1, 60, seed * 3);
+        BatchCell cell;
+        cell.cfg.n_plus_1 = r.n_plus_1;
+        cell.cfg.fp = fp;
+        cell.cfg.fd = fds.omegaK(fp, r.n_plus_1 - 1, r.stab, seed);
+        cell.cfg.seed = seed;
+        cell.cfg.max_steps = r.stab * 3 + 30'000;
+        cell.algo = [](Env& e, Value) { return core::omegaKToUpsilonF(e); };
+        cell.proposals =
+            std::vector<Value>(static_cast<std::size_t>(r.n_plus_1), 0);
+        const int f = r.n_plus_1 - 1;
+        cell.post = [f](const sim::RunReport& rep, CellResult& out) {
+          const auto check = core::checkEmulatedUpsilonF(rep.result, f);
+          if (!check.ok()) {
+            out.check_ok = false;
+            out.check_detail = check.violation;
+          }
+          out.metrics["last_change"] = static_cast<double>(check.last_change);
+        };
+        return cell;
+      });
+  Table t({"n+1", "stab(Omega_n)", "emulation last change", "axioms"});
+  for (std::size_t row = 0; row < rows.size(); ++row) {
+    bool ok = true;
+    std::vector<Time> last;
+    for (std::size_t i = row * kSeeds; i < (row + 1) * kSeeds; ++i) {
+      ok = ok && results[i].ok();
+      const auto it = results[i].metrics.find("last_change");
+      last.push_back(it == results[i].metrics.end()
+                         ? 0
+                         : static_cast<Time>(it->second));
     }
+    t.addRow({bench::fmt(rows[row].n_plus_1), bench::fmt(rows[row].stab),
+              bench::fmt(bench::median(std::move(last))),
+              bench::passFail(ok)});
   }
   t.print();
 }
@@ -96,9 +133,10 @@ void hardDirectionExposure() {
 }  // namespace
 }  // namespace wfd
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wfd;
-  easyDirection();
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  easyDirection(args);
   hardDirectionChase();
   hardDirectionExposure();
   std::puts("");

@@ -1,11 +1,16 @@
-// Shared helpers for the experiment harnesses: aligned table output and
-// small statistics. Each bench binary prints the rows recorded in
-// EXPERIMENTS.md; where wall-clock timing is the point (substrate costs)
-// google-benchmark is used instead.
+// Shared helpers for the experiment harnesses: aligned table output,
+// small statistics, common command-line flags (--quick / --jobs / --json)
+// and a machine-readable JSON results writer. Each bench binary prints
+// the rows recorded in EXPERIMENTS.md; where wall-clock timing is the
+// point (substrate costs) google-benchmark is used instead.
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
 #include <numeric>
 #include <string>
 #include <vector>
@@ -76,5 +81,130 @@ inline std::string passFail(bool ok) { return ok ? "PASS" : "FAIL"; }
 inline void banner(const char* title) {
   std::printf("\n=== %s ===\n", title);
 }
+
+// ---- Common harness flags ------------------------------------------------
+//
+//   --quick        shrink campaigns to the CI smoke size
+//   --jobs N       batch-runner worker threads (default: all hardware)
+//   --json PATH    write machine-readable results (JsonWriter) to PATH
+struct BenchArgs {
+  bool quick = false;
+  int jobs = 0;  // 0 = hardware_concurrency (sim::resolveJobs)
+  std::string json_path;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs a;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--quick") == 0) {
+        a.quick = true;
+      } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+        a.jobs = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        a.json_path = argv[++i];
+      }
+    }
+    return a;
+  }
+};
+
+// Wall-clock stopwatch for throughput reporting. The simulation itself
+// never reads ambient time (model_lint enforces that); measuring how fast
+// the harness chews through cells is exactly the sanctioned exception.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}  // model-lint-allow: wall-clock throughput measurement
+
+  [[nodiscard]] double seconds() const {
+    const auto now = std::chrono::steady_clock::now();  // model-lint-allow: wall-clock throughput measurement
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Machine-readable bench results: one JSON document per harness run with
+// top-level metadata, global metrics, and named per-row metric objects.
+// Written by `--json out.json`; CI archives BENCH_chaos.json per push so
+// the perf trajectory (steps/s, wall time, jobs) is recorded.
+class JsonWriter {
+ public:
+  JsonWriter(std::string bench_name, int jobs)
+      : bench_(std::move(bench_name)), jobs_(jobs) {}
+
+  void metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+  void note(const std::string& key, std::string value) {
+    notes_.emplace_back(key, std::move(value));
+  }
+  void row(const std::string& name,
+           std::vector<std::pair<std::string, double>> fields) {
+    rows_.emplace_back(name, std::move(fields));
+  }
+
+  // Returns false (and says so on stderr) if PATH is unwritable.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"jobs\": %d",
+                 escape(bench_).c_str(), jobs_);
+    for (const auto& [k, v] : notes_) {
+      std::fprintf(f, ",\n  \"%s\": \"%s\"", escape(k).c_str(),
+                   escape(v).c_str());
+    }
+    for (const auto& [k, v] : metrics_) {
+      std::fprintf(f, ",\n  \"%s\": %s", escape(k).c_str(), num(v).c_str());
+    }
+    std::fprintf(f, ",\n  \"rows\": [");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const auto& [name, fields] = rows_[i];
+      std::fprintf(f, "%s\n    { \"name\": \"%s\"", i == 0 ? "" : ",",
+                   escape(name).c_str());
+      for (const auto& [k, v] : fields) {
+        std::fprintf(f, ", \"%s\": %s", escape(k).c_str(), num(v).c_str());
+      }
+      std::fprintf(f, " }");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (c == '\n') {
+        out += "\\n";
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+  // Integral values print without a fraction so counters stay counters.
+  static std::string num(double v) {
+    char buf[40];
+    if (v == static_cast<double>(static_cast<long long>(v))) {
+      std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    } else {
+      std::snprintf(buf, sizeof buf, "%.6g", v);
+    }
+    return buf;
+  }
+
+  std::string bench_;
+  int jobs_;
+  std::vector<std::pair<std::string, std::string>> notes_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string,
+                        std::vector<std::pair<std::string, double>>>> rows_;
+};
 
 }  // namespace wfd::bench

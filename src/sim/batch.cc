@@ -1,0 +1,219 @@
+#include "sim/batch.h"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <tuple>
+
+#include "fd/omega.h"
+#include "fd/upsilon.h"
+
+namespace wfd::sim {
+
+namespace {
+
+std::unique_ptr<SchedulePolicy> makePolicy(PolicyKind kind) {
+  if (kind == PolicyKind::kRoundRobin) {
+    return std::make_unique<RoundRobinPolicy>();
+  }
+  return std::make_unique<RandomPolicy>();
+}
+
+void harvest(CellResult& out, RunVerdict verdict, std::string detail,
+             Time steps, const RunResult& result) {
+  out.verdict = verdict;
+  out.detail = std::move(detail);
+  out.steps = steps;
+  out.all_correct_done = result.all_correct_done;
+  out.decisions = result.decisions;
+  out.distinct_decisions = result.distinctDecisions();
+  out.trace_hash = result.trace().hash64();
+}
+
+}  // namespace
+
+int resolveJobs(int jobs) {
+  if (jobs > 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+CellResult runCell(const BatchCell& cell, std::size_t index) {
+  CellResult out;
+  out.index = index;
+  try {
+    if (cell.chaos.has_value() || cell.watchdog.has_value()) {
+      const WatchdogConfig wd = cell.watchdog.value_or(WatchdogConfig{});
+      RunReport rep;
+      if (cell.chaos.has_value()) {
+        rep = runChaosTask(cell.cfg, *cell.chaos, wd, cell.algo,
+                           cell.proposals);
+      } else {
+        // Watched but chaos-free: driveWatched draws from the run's own
+        // policy RNG, so this replays Scheduler::run's exact schedule.
+        Run run(cell.cfg, cell.algo, cell.proposals);
+        const auto policy = makePolicy(cell.cfg.policy);
+        rep = driveWatched(run, *policy, wd, nullptr);
+      }
+      harvest(out, rep.verdict, rep.detail, rep.steps, rep.result);
+      if (cell.post) cell.post(rep, out);
+    } else {
+      RunReport rep;  // plain path still hands the post-hook a RunReport
+      rep.result = runTask(cell.cfg, cell.algo, cell.proposals);
+      rep.steps = rep.result.steps;
+      harvest(out, RunVerdict::kOk, "", rep.steps, rep.result);
+      if (cell.post) cell.post(rep, out);
+    }
+  } catch (const std::exception& e) {
+    // One failing cell must not take down the batch: surface a structured
+    // error in this slot and let the other workers finish.
+    out = CellResult{};
+    out.index = index;
+    out.error = true;
+    out.detail = e.what();
+  }
+  return out;
+}
+
+BatchRunner::BatchRunner(BatchOptions opts) : jobs_(resolveJobs(opts.jobs)) {}
+
+std::vector<CellResult> BatchRunner::run(std::size_t count,
+                                         const CellGen& make) const {
+  std::vector<CellResult> results(count);
+  if (count == 0) return results;
+  const int workers =
+      static_cast<int>(std::min<std::size_t>(
+          static_cast<std::size_t>(jobs_), count));
+  // Each slot of `results` is written by exactly one worker and read only
+  // after the pool joins; the atomic cursor is the only cross-thread
+  // coordination the whole batch needs.
+  auto work = [&](std::size_t i) {
+    try {
+      results[i] = runCell(make(i), i);
+    } catch (const std::exception& e) {  // generator itself threw
+      results[i].index = i;
+      results[i].error = true;
+      results[i].detail = e.what();
+    }
+  };
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) work(i);
+    return results;
+  }
+  std::atomic<std::size_t> next{0};
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+             i < count;
+             i = next.fetch_add(1, std::memory_order_relaxed)) {
+          work(i);
+        }
+      });
+    }
+  }  // jthread joins here: all results are published before we return
+  return results;
+}
+
+std::vector<CellResult> BatchRunner::run(
+    const std::vector<BatchCell>& cells) const {
+  return run(cells.size(),
+             [&cells](std::size_t i) { return cells[i]; });
+}
+
+std::vector<CellResult> driveWatchedBatch(const std::vector<BatchCell>& cells,
+                                          const BatchOptions& opts) {
+  const BatchRunner runner(opts);
+  return runner.run(cells.size(), [&cells](std::size_t i) {
+    BatchCell cell = cells[i];
+    if (!cell.chaos.has_value() && !cell.watchdog.has_value()) {
+      cell.watchdog = WatchdogConfig{};
+    }
+    return cell;
+  });
+}
+
+// ---- FdCache -------------------------------------------------------------
+
+bool FdCache::Key::operator<(const Key& o) const {
+  return std::tie(family, crash_at, param, stab, seed) <
+         std::tie(o.family, o.crash_at, o.param, o.stab, o.seed);
+}
+
+FdCache::Key FdCache::makeKey(int family, const FailurePattern& fp, int param,
+                              Time stab, std::uint64_t seed) {
+  Key k;
+  k.family = family;
+  k.crash_at.reserve(static_cast<std::size_t>(fp.nProcs()));
+  for (Pid p = 0; p < fp.nProcs(); ++p) k.crash_at.push_back(fp.crashTime(p));
+  k.param = param;
+  k.stab = stab;
+  k.seed = seed;
+  return k;
+}
+
+fd::FdPtr FdCache::getOrBuild(Key key, const std::function<fd::FdPtr()>& build) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  // Build outside the lock: construction may be arbitrarily expensive and
+  // a duplicate build is harmless (the factories are pure, so both
+  // products are the same history; first insert wins).
+  fd::FdPtr built = build();
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = cache_.emplace(std::move(key), std::move(built));
+  if (inserted) {
+    ++misses_;
+  } else {
+    ++hits_;
+  }
+  return it->second;
+}
+
+fd::FdPtr FdCache::upsilon(const FailurePattern& fp, Time stab,
+                           std::uint64_t seed) {
+  return getOrBuild(makeKey(0, fp, 0, stab, seed),
+                    [&] { return fd::makeUpsilon(fp, stab, seed); });
+}
+
+fd::FdPtr FdCache::upsilonF(const FailurePattern& fp, int f, Time stab,
+                            std::uint64_t seed) {
+  return getOrBuild(makeKey(1, fp, f, stab, seed),
+                    [&] { return fd::makeUpsilonF(fp, f, stab, seed); });
+}
+
+fd::FdPtr FdCache::omega(const FailurePattern& fp, Time stab,
+                         std::uint64_t seed) {
+  return getOrBuild(makeKey(2, fp, 0, stab, seed),
+                    [&] { return fd::makeOmega(fp, stab, seed); });
+}
+
+fd::FdPtr FdCache::omegaK(const FailurePattern& fp, int k, Time stab,
+                          std::uint64_t seed) {
+  return getOrBuild(makeKey(3, fp, k, stab, seed),
+                    [&] { return fd::makeOmegaK(fp, k, stab, seed); });
+}
+
+std::size_t FdCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::size_t FdCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::size_t FdCache::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+}  // namespace wfd::sim

@@ -1,0 +1,168 @@
+// Parallel batch-run engine: shard independent (seed x config) cells
+// across a fixed-size worker pool with deterministic aggregation.
+//
+// Every experiment in EXPERIMENTS.md is a loop over independent cells —
+// one complete run recipe per (seed, configuration) pair — and a run is a
+// pure function of its cell: the world, scheduler, coroutine frames, and
+// trace are all owned by the Run, and the only objects a cell shares with
+// anything else (the FdPtr history, the AlgoFn callable) are immutable
+// and queried through const, stateless interfaces. That makes sharding
+// safe by construction: each worker executes whole cells on its own
+// Run/World/Scheduler stack, NO simulation state crosses threads, and the
+// per-cell trace hash is bit-identical to what serial execution produces
+// (certified by tests/batch_test.cc and tools/determinism_check).
+//
+// Determinism contract (docs/PARALLEL.md):
+//   * results come back indexed by submission order, regardless of which
+//     worker ran which cell or in what order they finished;
+//   * cell execution routes through the exact serial code paths (runTask
+//     for plain cells, runChaosTask/driveWatched for watched ones), so
+//     jobs=N and jobs=1 produce the same verdicts, steps and trace hashes;
+//   * a cell that throws (SimAbort, StepAuditError in throw mode, ...)
+//     yields a structured error result; the other cells complete.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/chaos.h"
+#include "sim/runner.h"
+#include "sim/watchdog.h"
+
+namespace wfd::sim {
+
+struct CellResult;
+
+// Post-hook, run on the worker right after its cell completes, while the
+// full RunReport (trace, world, decisions, auditor) is still alive. Use it
+// to run checkers and record metrics without retaining thousands of worlds
+// in memory. It MUST be a pure function of its arguments: it executes on a
+// worker thread, so writing to anything captured by reference races.
+using CellPost = std::function<void(const RunReport&, CellResult&)>;
+
+// One cell: a complete, self-contained run recipe.
+struct BatchCell {
+  RunConfig cfg;
+  AlgoFn algo;
+  std::vector<Value> proposals;
+  // When either is set the cell is driven through the watchdog — with the
+  // chaos engine when `chaos` is present (exactly runChaosTask), plain
+  // otherwise (replays Scheduler::run's schedule step for step). Unset:
+  // the cell runs through runTask.
+  std::optional<ChaosConfig> chaos;
+  std::optional<WatchdogConfig> watchdog;
+  CellPost post;  // optional checker/metric hook
+};
+
+// Per-cell summary: everything the aggregating thread needs, without the
+// World (batch memory stays bounded at jobs * one-run footprint).
+struct CellResult {
+  std::size_t index = 0;  // submission index; results[i].index == i
+  RunVerdict verdict = RunVerdict::kOk;
+  std::string detail;  // verdict detail, or the exception message on error
+  bool error = false;  // the cell threw; no run data below is valid
+  bool all_correct_done = false;
+  Time steps = 0;
+  int distinct_decisions = 0;
+  std::map<Pid, Value> decisions;
+  std::uint64_t trace_hash = 0;
+  // Post-hook outputs (checker verdicts, per-cell metrics).
+  bool check_ok = true;
+  std::string check_detail;
+  std::map<std::string, double> metrics;
+
+  [[nodiscard]] bool ok() const {
+    return !error && verdict == RunVerdict::kOk && check_ok;
+  }
+};
+
+struct BatchOptions {
+  // Worker threads; <= 0 resolves to std::thread::hardware_concurrency.
+  int jobs = 0;
+};
+
+// <= 0 -> hardware_concurrency (>= 1).
+[[nodiscard]] int resolveJobs(int jobs);
+
+// Execute one cell exactly as the serial paths would. The building block
+// the workers call; exposed so tests can certify jobs=1 equivalence.
+[[nodiscard]] CellResult runCell(const BatchCell& cell, std::size_t index);
+
+class BatchRunner {
+ public:
+  explicit BatchRunner(BatchOptions opts = {});
+
+  [[nodiscard]] int jobs() const { return jobs_; }
+
+  // Execute every cell; results in submission order.
+  [[nodiscard]] std::vector<CellResult> run(
+      const std::vector<BatchCell>& cells) const;
+
+  // Generator form for sweeps too large to materialize: make(i) builds
+  // cell i on the worker that executes it. `make` must be thread-safe and
+  // a pure function of i (a shared FdCache inside it is fine: the cache
+  // locks internally and detectors are immutable).
+  using CellGen = std::function<BatchCell(std::size_t)>;
+  [[nodiscard]] std::vector<CellResult> run(std::size_t count,
+                                            const CellGen& make) const;
+
+ private:
+  int jobs_;
+};
+
+// Chaos soaks shard too: drive watched/chaos cells across the pool. Cells
+// that set neither `chaos` nor `watchdog` get a default WatchdogConfig so
+// every result carries a structured verdict.
+[[nodiscard]] std::vector<CellResult> driveWatchedBatch(
+    const std::vector<BatchCell>& cells, const BatchOptions& opts = {});
+
+// ---- FD-history construction cache --------------------------------------
+//
+// Sweeps re-derive the same constructed history for many rows: an Upsilon
+// instance is keyed by (pattern, f, stab, noise seed) and nothing else, so
+// rebuilding it per cell is wasted work — and a FailureDetector is an
+// immutable history (query(p, t) is const and stateless), so ONE instance
+// can serve any number of concurrent runs. The cache is thread-safe and
+// intended to be shared by a BatchRunner generator across workers.
+class FdCache {
+ public:
+  fd::FdPtr upsilon(const FailurePattern& fp, Time stab, std::uint64_t seed);
+  fd::FdPtr upsilonF(const FailurePattern& fp, int f, Time stab,
+                     std::uint64_t seed);
+  fd::FdPtr omega(const FailurePattern& fp, Time stab, std::uint64_t seed);
+  fd::FdPtr omegaK(const FailurePattern& fp, int k, Time stab,
+                   std::uint64_t seed);
+
+  [[nodiscard]] std::size_t hits() const;
+  [[nodiscard]] std::size_t misses() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  // (family, crash times, param, stab, seed) pins a constructed history
+  // completely: every factory below is a pure function of these.
+  struct Key {
+    int family = 0;  // 0 Upsilon, 1 Upsilon^f, 2 Omega, 3 Omega^k
+    std::vector<Time> crash_at;
+    int param = 0;
+    Time stab = 0;
+    std::uint64_t seed = 0;
+
+    bool operator<(const Key& o) const;
+  };
+
+  static Key makeKey(int family, const FailurePattern& fp, int param,
+                     Time stab, std::uint64_t seed);
+  fd::FdPtr getOrBuild(Key key, const std::function<fd::FdPtr()>& build);
+
+  mutable std::mutex mu_;
+  std::map<Key, fd::FdPtr> cache_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace wfd::sim

@@ -13,13 +13,20 @@ namespace {
 // Audit mode for a run whose config left `audit` unset: the WFD_AUDIT
 // environment variable turns auditing on process-wide, which is how the
 // whole tier-1 suite and every bench harness get re-run under the
-// auditor without per-call-site changes.
+// auditor without per-call-site changes. Read ONCE per process (a
+// thread-safe magic static): getenv is not guaranteed safe against
+// concurrent environment access, and batch workers construct Runs
+// concurrently (sim/batch.h) — besides, a 10k-cell sweep has no business
+// re-reading an unchanging variable per Run.
 std::optional<AuditMode> envAuditMode() {
-  const char* e = std::getenv("WFD_AUDIT");
-  if (e == nullptr) return std::nullopt;
-  if (std::strcmp(e, "collect") == 0) return AuditMode::kCollect;
-  if (std::strcmp(e, "throw") == 0) return AuditMode::kThrow;
-  return std::nullopt;
+  static const std::optional<AuditMode> cached = []() -> std::optional<AuditMode> {
+    const char* e = std::getenv("WFD_AUDIT");
+    if (e == nullptr) return std::nullopt;
+    if (std::strcmp(e, "collect") == 0) return AuditMode::kCollect;
+    if (std::strcmp(e, "throw") == 0) return AuditMode::kThrow;
+    return std::nullopt;
+  }();
+  return cached;
 }
 
 }  // namespace

@@ -18,8 +18,14 @@
 //     smoke workload (the hash actually covers the op stream);
 //   * result sensitivity: the hash folds operation RESULTS (read values,
 //     scan views, FD answers), so runs with identical op streams but
-//     diverging responses cannot replay as hash-equal.
+//     diverging responses cannot replay as hash-equal;
+//   * batch equivalence: the same workloads submitted to the parallel
+//     BatchRunner (sim/batch.h, `--jobs N` workers, default 4) must come
+//     back in submission order with per-cell trace hashes bit-identical
+//     to the serial jobs=1 pass — sharding across threads is invisible.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <set>
 #include <string>
@@ -217,9 +223,100 @@ void resultSensitivity() {
         "fd-blind: diverging FD answers diverge the hash");
 }
 
+// Mixed cell list spanning the algorithm families; shared between the
+// serial and parallel passes of batchWorkloads.
+std::vector<sim::BatchCell> batchCells() {
+  std::vector<sim::BatchCell> cells;
+  // FdCache: the SAME detector instance serves concurrent cells below —
+  // which is exactly the sharing the cache's thread-safety claim makes.
+  sim::FdCache fds;
+  for (const std::uint64_t seed : {1u, 7u, 23u, 40u}) {
+    const int n_plus_1 = 4;
+    const auto fp = FailurePattern::withCrashes(n_plus_1, {{1, 120}});
+    sim::BatchCell cell;
+    cell.cfg.n_plus_1 = n_plus_1;
+    cell.cfg.fp = fp;
+    cell.cfg.fd = fds.upsilon(fp, 150, seed);
+    cell.cfg.seed = seed;
+    cell.algo = [](Env& e, Value v) { return core::upsilonSetAgreement(e, v); };
+    cell.proposals = {10, 20, 30, 40};
+    cells.push_back(cell);
+    // Same (pattern, stab, seed) key resubmitted: a guaranteed cache hit
+    // whose run must still hash identically to the first submission.
+    cells.push_back(cell);
+  }
+  for (const std::uint64_t seed : {3u, 11u}) {
+    const int n_plus_1 = 5;
+    const auto fp = FailurePattern::withCrashes(n_plus_1, {{4, 200}});
+    sim::BatchCell cell;
+    cell.cfg.n_plus_1 = n_plus_1;
+    cell.cfg.fp = fp;
+    cell.cfg.fd = fds.upsilonF(fp, 2, 180, seed);
+    cell.cfg.seed = seed;
+    cell.algo = [](Env& e, Value v) {
+      return core::upsilonFSetAgreement(e, 2, v);
+    };
+    cell.proposals = {10, 20, 30, 40, 50};
+    cells.push_back(std::move(cell));
+  }
+  const auto phi = core::phiOmegaK(4);
+  for (const std::uint64_t seed : {2u, 9u}) {
+    const auto fp = FailurePattern::random(4, 3, 40, seed);
+    sim::BatchCell cell;
+    cell.cfg.n_plus_1 = 4;
+    cell.cfg.fp = fp;
+    cell.cfg.fd = fds.omega(fp, 100, seed);
+    cell.cfg.seed = seed;
+    cell.cfg.max_steps = 60'000;
+    cell.algo = [phi](Env& e, Value) { return core::extractUpsilonF(e, phi); };
+    cell.proposals = std::vector<Value>(4, 0);
+    // Watched flavor: driveWatched must replay Scheduler::run exactly.
+    cell.watchdog = sim::WatchdogConfig{60'000, 0, 0};
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+void batchWorkloads(int jobs) {
+  std::printf("Batch engine (serial vs %d workers):\n", jobs);
+  const auto cells = batchCells();
+  const sim::BatchRunner serial(sim::BatchOptions{1});
+  const sim::BatchRunner pool(sim::BatchOptions{jobs});
+  const auto a = serial.run(cells);
+  const auto b = pool.run(cells);
+  check(a.size() == cells.size() && b.size() == cells.size(),
+        "batch returns one result per cell");
+  bool order = true;
+  bool hashes = true;
+  bool verdicts = true;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    order = order && a[i].index == i && b[i].index == i;
+    hashes = hashes && !a[i].error && !b[i].error &&
+             a[i].trace_hash == b[i].trace_hash && a[i].steps == b[i].steps;
+    verdicts = verdicts && a[i].verdict == b[i].verdict &&
+               a[i].decisions == b[i].decisions;
+  }
+  check(order, "results preserve submission order at every pool size");
+  check(hashes, "per-cell trace hashes bit-identical: jobs=1 vs jobs=" +
+                    std::to_string(jobs));
+  check(verdicts, "verdicts and decisions identical across pool sizes");
+  // Resubmitted duplicate cells (FdCache hits) replay hash-identically.
+  bool dup_ok = true;
+  for (std::size_t i = 0; i + 1 < 8; i += 2) {
+    dup_ok = dup_ok && b[i].trace_hash == b[i + 1].trace_hash;
+  }
+  check(dup_ok, "cache-served detector replays hash-identical runs");
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  int jobs = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    }
+  }
   std::puts("=== determinism check: every workload runs twice per seed ===");
   fig1Workloads();
   fig2Workloads();
@@ -228,6 +325,7 @@ int main() {
   bgWorkloads();
   seedSensitivity();
   resultSensitivity();
+  batchWorkloads(jobs < 1 ? 1 : jobs);
   if (g_failures > 0) {
     std::printf("\ndeterminism check FAILED: %d divergence(s)\n", g_failures);
     return 1;

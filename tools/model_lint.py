@@ -22,6 +22,12 @@ guarantees:
                      is environment state; only the simulator (and its
                      chaos engine, which enforces the legality contract in
                      docs/CHAOS.md) may mutate F mid-run
+  global-mutable     non-const namespace-scope state in src/ (including
+                     src/sim): the batch runner (sim/batch.h) executes
+                     runs on concurrent worker threads, and the
+                     no-shared-state determinism contract in
+                     docs/PARALLEL.md only holds while every piece of
+                     mutable state is owned by a Run or guarded by a lock
 
 The harness-facing trees bench/ and examples/ are linted too: their runs
 feed EXPERIMENTS.md rows and documentation, so the same determinism rules
@@ -37,7 +43,16 @@ import pathlib
 import re
 import sys
 
-# (rule-name, compiled regex, explanation)
+# Directories whose sources the model rules bind (relative to --root).
+# src/sim itself is exempt from the algorithm-facing rules: it IS the
+# machinery those rules protect. The thread-safety rule (global-mutable)
+# scopes differently — src/ only, but *including* src/sim, since worker
+# threads execute the simulator itself concurrently.
+LINTED_DIRS = ["src/core", "src/fd", "src/memory", "bench", "examples"]
+THREAD_SAFETY_DIRS = ["src/core", "src/fd", "src/memory", "src/sim"]
+
+# (rule-name, compiled regex, explanation[, dirs]) — rules without an
+# explicit dirs entry bind LINTED_DIRS.
 RULES = [
     (
         "libc-rand",
@@ -87,11 +102,33 @@ RULES = [
         "contract in docs/CHAOS.md) may crash processes mid-run; "
         "workloads describe crashes up front via FailurePattern factories",
     ),
+    (
+        "global-mutable",
+        # Column-0 declarations introduced by static/inline/thread_local
+        # that are not const/constexpr and are not functions (no parens on
+        # the declarator line) nor operator definitions. Namespace-scope
+        # code in this repo sits at column 0, so the anchor scopes the
+        # rule to globals without tripping on function-local statics or
+        # class members. Bare `int g_x = 0;` globals are out of reach of a
+        # line regex (indistinguishable from locals) — keyword-introduced
+        # globals are the idiom this tree actually uses.
+        re.compile(
+            r"^(?:static|inline|thread_local)(?:\s+(?:static|inline|thread_local))*"
+            r"\s+(?!const\b|constexpr\b)(?!.*\boperator)[^()\n]*[=;]"
+        ),
+        "non-const namespace-scope state is shared across the batch "
+        "runner's worker threads (sim/batch.h); keep mutable state owned "
+        "by a Run or behind an explicit lock (docs/PARALLEL.md)",
+        THREAD_SAFETY_DIRS,
+    ),
 ]
 
-# Directories whose sources the model rules bind (relative to --root).
-# src/sim itself is exempt: it IS the machinery the rules protect.
-LINTED_DIRS = ["src/core", "src/fd", "src/memory", "bench", "examples"]
+
+def rule_dirs(rule):
+    """Directories a rule binds: explicit 4th element, else LINTED_DIRS."""
+    return rule[3] if len(rule) > 3 else LINTED_DIRS
+
+
 EXTENSIONS = {".h", ".cc"}
 
 
@@ -133,25 +170,38 @@ def strip_comments_and_strings(text: str) -> str:
     return "".join(out)
 
 
-def scan_text(text: str, path: str):
+def scan_text(text: str, path: str, rules=None):
     """Return [(path, line_no, rule, line_text)] for one file's contents."""
     findings = []
     stripped = strip_comments_and_strings(text)
     lines = text.splitlines()
+    active = RULES if rules is None else rules
     for lineno, line in enumerate(stripped.splitlines(), start=1):
         if "model-lint-allow" in (lines[lineno - 1] if lineno <= len(lines) else ""):
             continue
-        for rule, rx, _why in RULES:
+        for rule in active:
+            name, rx = rule[0], rule[1]
             if rx.search(line):
                 src = lines[lineno - 1].strip() if lineno <= len(lines) else ""
-                findings.append((path, lineno, rule, src))
+                findings.append((path, lineno, name, src))
     return findings
+
+
+def all_linted_dirs():
+    """Ordered union of every rule's directory scope."""
+    seen = []
+    for rule in RULES:
+        for d in rule_dirs(rule):
+            if d not in seen:
+                seen.append(d)
+    return seen
 
 
 def scan_tree(root: pathlib.Path):
     findings = []
     files = 0
-    for d in LINTED_DIRS:
+    for d in all_linted_dirs():
+        rules = [r for r in RULES if d in rule_dirs(r)]
         base = root / d
         if not base.is_dir():
             print(f"model_lint: missing directory {base}", file=sys.stderr)
@@ -160,7 +210,11 @@ def scan_tree(root: pathlib.Path):
             if p.suffix in EXTENSIONS and p.is_file():
                 files += 1
                 findings.extend(
-                    scan_text(p.read_text(encoding="utf-8"), str(p.relative_to(root)))
+                    scan_text(
+                        p.read_text(encoding="utf-8"),
+                        str(p.relative_to(root)),
+                        rules,
+                    )
                 )
     return findings, files
 
@@ -175,13 +229,19 @@ VIOLATING_SNIPPETS = {
     "unordered-iter": "std::unordered_map<int, int> seen;\n",
     "direct-world": "void rogue(Env& env) { env.world()->objects(); }\n",
     "fp-mutation": "void rogue(World& w) { w.injectCrash(2); }\n",
+    "global-mutable": "static int g_hits = 0;\n",
 }
 
 CLEAN_SNIPPET = """\
 // A legal algorithm fragment: seeded rng, logical time, ordered maps.
 // Mentions of rand(), time() and world() in comments must not fire.
 #include <map>
+inline constexpr int kRounds = 3;            // constexpr global: immutable
+static const char* kName = "fig1";           // const global: immutable
+inline bool operator!=(const RegVal& a, const RegVal& b) { return !(a == b); }
+static int helper(int x);                    // function decl, not state
 Coro<Unit> algo(Env& env, Value v) {
+  static const auto kTable = std::map<int, int>{};  // local const static
   const ObjId r = env.reg(ObjKey{"D", 0});
   co_await env.write(r, RegVal(v));           // one op per step
   const auto res = co_await env.read(r);
@@ -232,14 +292,14 @@ def main() -> int:
     findings, files = scan_tree(args.root.resolve())
     if findings is None:
         return 2
-    why = dict((r, w) for r, _rx, w in RULES)
+    why = dict((r[0], r[2]) for r in RULES)
     for path, lineno, rule, src in findings:
         print(f"{path}:{lineno}: [{rule}] {src}")
         print(f"    {why[rule]}")
     if findings:
         print(f"model_lint: {len(findings)} finding(s) in {files} files")
         return 1
-    print(f"model_lint: clean ({files} files in {', '.join(LINTED_DIRS)})")
+    print(f"model_lint: clean ({files} files in {', '.join(all_linted_dirs())})")
     return 0
 
 
