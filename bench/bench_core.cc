@@ -1,0 +1,193 @@
+// bench_core: the steps/s core benchmark that seeds the perf trajectory.
+//
+// Every experiment harness bottoms out in Scheduler::run's per-step loop,
+// so its cost multiplies across millions of simulated steps per campaign.
+// This bench measures that loop directly:
+//
+//   * spin-nN      pure-scheduler throughput at several n: every process
+//                  loops OpNoop steps, so the measurement is scheduler +
+//                  policy + execute overhead with no algorithm on top
+//                  (RandomPolicy; spin-rr-n8 is the RoundRobin variant);
+//   * fig1/2/3     the Fig. 1 / Fig. 2 / Fig. 3 workloads of E1–E3,
+//                  repeated across a seed sweep — real algorithm mix:
+//                  snapshots, FD queries, tuple-building registers.
+//
+// Output: a table plus (with --json) BENCH_core.json via JsonWriter, with
+// build provenance stamped so before/after numbers across PRs are
+// attributable. Determinism note: wall-clock here measures the HARNESS;
+// the simulated runs themselves replay bit-identically regardless of how
+// fast they execute (tests/golden_hash_test.cc pins that).
+//
+//   bench_core [--quick] [--json PATH]
+#include "bench_util.h"
+
+namespace wfd::bench {
+namespace {
+
+using core::extractUpsilonF;
+using core::phiOmegaK;
+using core::upsilonFSetAgreement;
+using core::upsilonSetAgreement;
+using sim::Env;
+using sim::FailurePattern;
+using sim::RunConfig;
+using sim::RunResult;
+
+struct Measurement {
+  Time steps = 0;
+  double seconds = 0;
+  [[nodiscard]] double stepsPerSec() const {
+    return seconds > 0 ? static_cast<double>(steps) / seconds : 0;
+  }
+};
+
+// ---- Pure-scheduler spin: every step is an OpNoop ------------------------
+
+sim::Coro<sim::Unit> spinner(Env& env, Value iters) {
+  for (Value i = 0; i < iters; ++i) co_await env.yield();
+  co_return sim::Unit{};
+}
+
+Measurement spin(int n_plus_1, Time target_steps, sim::PolicyKind policy) {
+  RunConfig cfg;
+  cfg.n_plus_1 = n_plus_1;
+  cfg.seed = 42;
+  cfg.policy = policy;
+  cfg.max_steps = target_steps;
+  const Value iters = static_cast<Value>(target_steps);  // budget-bounded
+  Measurement m;
+  const WallTimer t;
+  const RunResult rr = sim::runTask(
+      cfg, [iters](Env& e, Value) { return spinner(e, iters); },
+      std::vector<Value>(static_cast<std::size_t>(n_plus_1), 0));
+  m.seconds = t.seconds();
+  m.steps = rr.steps;
+  return m;
+}
+
+// ---- Fig. 1/2/3 workloads across a seed sweep ----------------------------
+
+Measurement fig1Sweep(int runs) {
+  Measurement m;
+  const WallTimer t;
+  for (int i = 0; i < runs; ++i) {
+    const std::uint64_t seed = static_cast<std::uint64_t>(i) + 1;
+    const int n_plus_1 = 4;
+    const auto fp = FailurePattern::withCrashes(n_plus_1, {{1, 120}});
+    RunConfig cfg;
+    cfg.n_plus_1 = n_plus_1;
+    cfg.fp = fp;
+    cfg.fd = fd::makeUpsilon(fp, 150, seed);
+    cfg.seed = seed;
+    const RunResult rr = sim::runTask(
+        cfg, [](Env& e, Value v) { return upsilonSetAgreement(e, v); },
+        {10, 20, 30, 40});
+    m.steps += rr.steps;
+  }
+  m.seconds = t.seconds();
+  return m;
+}
+
+Measurement fig2Sweep(int runs) {
+  Measurement m;
+  const WallTimer t;
+  for (int i = 0; i < runs; ++i) {
+    const std::uint64_t seed = static_cast<std::uint64_t>(i) + 1;
+    const int n_plus_1 = 5;
+    const int f = 2;
+    const auto fp = FailurePattern::withCrashes(n_plus_1, {{4, 200}});
+    RunConfig cfg;
+    cfg.n_plus_1 = n_plus_1;
+    cfg.fp = fp;
+    cfg.fd = fd::makeUpsilonF(fp, f, 180, seed);
+    cfg.seed = seed;
+    const RunResult rr = sim::runTask(
+        cfg, [f](Env& e, Value v) { return upsilonFSetAgreement(e, f, v); },
+        {10, 20, 30, 40, 50});
+    m.steps += rr.steps;
+  }
+  m.seconds = t.seconds();
+  return m;
+}
+
+Measurement fig3Sweep(int runs, Time budget) {
+  Measurement m;
+  const WallTimer t;
+  const auto phi = phiOmegaK(4);
+  for (int i = 0; i < runs; ++i) {
+    const std::uint64_t seed = static_cast<std::uint64_t>(i) + 1;
+    const int n_plus_1 = 4;
+    const auto fp = FailurePattern::random(n_plus_1, n_plus_1 - 1, 40, seed);
+    RunConfig cfg;
+    cfg.n_plus_1 = n_plus_1;
+    cfg.fp = fp;
+    cfg.fd = fd::makeOmega(fp, 100, seed);
+    cfg.seed = seed;
+    cfg.max_steps = budget;
+    const RunResult rr = sim::runTask(
+        cfg, [phi](Env& e, Value) { return extractUpsilonF(e, phi); },
+        std::vector<Value>(static_cast<std::size_t>(n_plus_1), 0));
+    m.steps += rr.steps;
+  }
+  m.seconds = t.seconds();
+  return m;
+}
+
+}  // namespace
+}  // namespace wfd::bench
+
+int main(int argc, char** argv) {
+  using namespace wfd;
+  using namespace wfd::bench;
+
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  // Core loop throughput is a single-thread property; --jobs only lands in
+  // the JSON so trajectory entries stay comparable with the batch benches.
+  const Time spin_budget = args.quick ? 200'000 : 2'000'000;
+  const int fig12_runs = args.quick ? 200 : 2'000;
+  const int fig3_runs = args.quick ? 3 : 20;
+  const Time fig3_budget = 60'000;
+
+  banner("core step-loop throughput (steps/s)");
+  Table table({"workload", "n+1", "steps", "seconds", "Msteps/s"});
+  JsonWriter json("bench_core", args.jobs);
+  json.note("mode", args.quick ? "quick" : "full");
+
+  const auto report = [&](const std::string& name, int n_plus_1,
+                          const Measurement& m) {
+    table.addRow({name, fmt(n_plus_1), fmt(m.steps), fmt(m.seconds),
+                  fmt(m.stepsPerSec() / 1e6)});
+    json.row(name, {{"n_plus_1", static_cast<double>(n_plus_1)},
+                    {"steps", static_cast<double>(m.steps)},
+                    {"seconds", m.seconds},
+                    {"steps_per_s", m.stepsPerSec()}});
+    return m;
+  };
+
+  double spin8 = 0;
+  for (const int n : {2, 4, 8, 16, 32, 64}) {
+    const Measurement m =
+        report("spin-n" + std::to_string(n), n,
+               spin(n, spin_budget, sim::PolicyKind::kRandom));
+    if (n == 8) spin8 = m.stepsPerSec();
+  }
+  const Measurement rr = report("spin-rr-n8", 8,
+                                spin(8, spin_budget, sim::PolicyKind::kRoundRobin));
+  const Measurement f1 = report("fig1", 4, fig1Sweep(fig12_runs));
+  const Measurement f2 = report("fig2", 5, fig2Sweep(fig12_runs));
+  const Measurement f3 = report("fig3", 4, fig3Sweep(fig3_runs, fig3_budget));
+
+  table.print();
+  std::printf("headline: spin-n8 %.2f Msteps/s, rr %.2f, fig1 %.2f, "
+              "fig2 %.2f, fig3 %.2f\n",
+              spin8 / 1e6, rr.stepsPerSec() / 1e6, f1.stepsPerSec() / 1e6,
+              f2.stepsPerSec() / 1e6, f3.stepsPerSec() / 1e6);
+
+  json.metric("spin_n8_steps_per_s", spin8);
+  json.metric("spin_rr_n8_steps_per_s", rr.stepsPerSec());
+  json.metric("fig1_steps_per_s", f1.stepsPerSec());
+  json.metric("fig2_steps_per_s", f2.stepsPerSec());
+  json.metric("fig3_steps_per_s", f3.stepsPerSec());
+  if (!args.json_path.empty() && !json.write(args.json_path)) return 1;
+  return 0;
+}

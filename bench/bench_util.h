@@ -13,6 +13,7 @@
 #include <map>
 #include <numeric>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "wfd.h"
@@ -123,14 +124,33 @@ class WallTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
+// Configure-time build provenance, injected by bench/CMakeLists.txt so
+// every BENCH_*.json records which binary produced it. CI reconfigures
+// per checkout, so the SHA is exact there; for local incremental builds
+// the WFD_GIT_SHA environment variable overrides the baked-in value.
+#ifndef WFD_GIT_SHA
+#define WFD_GIT_SHA "unknown"
+#endif
+#ifndef WFD_CXX_FLAGS
+#define WFD_CXX_FLAGS "unknown"
+#endif
+
 // Machine-readable bench results: one JSON document per harness run with
 // top-level metadata, global metrics, and named per-row metric objects.
-// Written by `--json out.json`; CI archives BENCH_chaos.json per push so
-// the perf trajectory (steps/s, wall time, jobs) is recorded.
+// Written by `--json out.json`; CI archives BENCH_chaos.json and
+// BENCH_core.json per push so the perf trajectory (steps/s, wall time,
+// jobs) is recorded and attributable across PRs (docs/PERF.md).
 class JsonWriter {
  public:
   JsonWriter(std::string bench_name, int jobs)
-      : bench_(std::move(bench_name)), jobs_(jobs) {}
+      : bench_(std::move(bench_name)), jobs_(jobs) {
+    const char* sha = std::getenv("WFD_GIT_SHA");
+    note("git_sha", sha != nullptr && *sha != '\0' ? sha : WFD_GIT_SHA);
+    note("compiler", __VERSION__);
+    note("cxx_flags", WFD_CXX_FLAGS);
+    metric("hardware_concurrency",
+           static_cast<double>(std::thread::hardware_concurrency()));
+  }
 
   void metric(const std::string& key, double value) {
     metrics_.emplace_back(key, value);

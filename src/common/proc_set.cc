@@ -5,19 +5,14 @@ namespace wfd {
 std::vector<Pid> ProcSet::members() const {
   std::vector<Pid> out;
   out.reserve(static_cast<std::size_t>(size()));
-  std::uint64_t b = bits_;
-  while (b != 0) {
-    const int p = __builtin_ctzll(b);
-    out.push_back(p);
-    b &= b - 1;
-  }
+  for (Pid p : *this) out.push_back(p);
   return out;
 }
 
 std::string ProcSet::toString() const {
   std::string s = "{";
   bool first = true;
-  for (Pid p : members()) {
+  for (Pid p : *this) {
     if (!first) s += ",";
     s += "p" + std::to_string(p + 1);  // paper is 1-based
     first = false;

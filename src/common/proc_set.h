@@ -9,8 +9,13 @@
 #include <cassert>
 #include <cstdint>
 #include <initializer_list>
+#include <iterator>
 #include <string>
 #include <vector>
+
+#if defined(__BMI2__)
+#include <immintrin.h>
+#endif
 
 #include "common/types.h"
 
@@ -82,6 +87,84 @@ class ProcSet {
   [[nodiscard]] Pid min() const {
     return empty() ? -1 : __builtin_ctzll(bits_);
   }
+
+  // The i-th smallest member (0-based). Precondition: 0 <= i < size().
+  // This is bit-select: with BMI2 a single PDEP, otherwise popcount
+  // narrowing over halves — either way no memory traffic, which is what
+  // lets the schedule policies drop their members() vectors.
+  [[nodiscard]] Pid nth(int i) const {
+    assert(i >= 0 && i < size());
+    // A contiguous-from-zero set {0..m} — every runnable set until the
+    // first crash or completion — selects by identity.
+    if ((bits_ & (bits_ + 1)) == 0) return i;
+#if defined(__BMI2__)
+    return static_cast<Pid>(
+        __builtin_ctzll(_pdep_u64(std::uint64_t{1} << i, bits_)));
+#else
+    std::uint64_t b = bits_;
+    auto r = static_cast<unsigned>(i);
+    Pid base = 0;
+    for (int half = 32; half >= 8; half /= 2) {
+      const auto lo = static_cast<unsigned>(
+          __builtin_popcountll(b & ((std::uint64_t{1} << half) - 1)));
+      if (r >= lo) {
+        r -= lo;
+        base += half;
+        b >>= half;
+      }
+    }
+    while (r-- > 0) b &= b - 1;  // <= 7 iterations after narrowing
+    return base + __builtin_ctzll(b);
+#endif
+  }
+
+  // Smallest member strictly greater than p; -1 when none. Accepts p = -1
+  // ("above nothing", i.e. min()) so round-robin state needs no special
+  // first-call case.
+  [[nodiscard]] Pid nextAbove(Pid p) const {
+    assert(p >= -1 && p < kMaxProcs);
+    // p = kMaxProcs - 1 would shift by 64 below (undefined), and has no
+    // possible successor anyway.
+    if (p >= kMaxProcs - 1) return -1;
+    const std::uint64_t above =
+        p < 0 ? bits_ : (bits_ >> (p + 1)) << (p + 1);
+    return above == 0 ? -1 : __builtin_ctzll(above);
+  }
+
+  // Allocation-free forward iteration in increasing pid order. The
+  // iterator is just the not-yet-visited mask, so begin()/end() cost
+  // nothing and range-for over a ProcSet never touches the heap.
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Pid;
+    using difference_type = std::ptrdiff_t;
+
+    constexpr iterator() = default;
+    Pid operator*() const {
+      assert(rest_ != 0);
+      return __builtin_ctzll(rest_);
+    }
+    iterator& operator++() {
+      rest_ &= rest_ - 1;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator old = *this;
+      ++*this;
+      return old;
+    }
+    friend bool operator==(const iterator&, const iterator&) = default;
+
+   private:
+    friend class ProcSet;
+    explicit constexpr iterator(std::uint64_t rest) : rest_(rest) {}
+    std::uint64_t rest_ = 0;
+  };
+  using const_iterator = iterator;
+
+  [[nodiscard]] iterator begin() const { return iterator(bits_); }
+  [[nodiscard]] iterator end() const { return iterator(0); }
 
   [[nodiscard]] std::vector<Pid> members() const;
 

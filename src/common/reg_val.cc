@@ -19,9 +19,24 @@ const ProcSet& RegVal::asSet() const {
   return std::get<ProcSet>(v_);
 }
 
-const std::vector<RegVal>& RegVal::asTuple() const {
+RegVal RegVal::tuple(std::vector<RegVal> elems) {
+  Tuple t;
+  t.size = elems.size();
+  if (t.size > 0) {
+    // One allocation for control block + elements together.
+    std::shared_ptr<RegVal[]> buf = std::make_shared<RegVal[]>(t.size);
+    for (std::size_t i = 0; i < t.size; ++i) buf[i] = std::move(elems[i]);
+    t.elems = std::move(buf);
+  }
+  RegVal r;
+  r.v_ = std::move(t);
+  return r;
+}
+
+RegVal::TupleView RegVal::asTuple() const {
   assert(isTuple() && "RegVal: expected tuple");
-  return *std::get<RegTuple>(v_);
+  const Tuple& t = std::get<Tuple>(v_);
+  return {t.elems.get(), t.size};
 }
 
 bool operator==(const RegVal& a, const RegVal& b) {
@@ -30,8 +45,8 @@ bool operator==(const RegVal& a, const RegVal& b) {
   if (a.isInt()) return a.asInt() == b.asInt();
   if (a.isBool()) return a.asBool() == b.asBool();
   if (a.isSet()) return a.asSet() == b.asSet();
-  const auto& ta = a.asTuple();
-  const auto& tb = b.asTuple();
+  const auto ta = a.asTuple();
+  const auto tb = b.asTuple();
   if (ta.size() != tb.size()) return false;
   for (std::size_t i = 0; i < ta.size(); ++i) {
     if (ta[i] != tb[i]) return false;

@@ -5,10 +5,11 @@
 // sets (failure detector outputs relayed through memory, Fig. 3's R[i]),
 // and small tuples (the k-converge helper entries, Afek-snapshot cells).
 // RegVal is a closed, value-semantic sum over exactly those shapes; tuples
-// are immutable boxed vectors so that nesting (e.g. a snapshot embedded in
-// an Afek cell) stays cheap to copy and safe to share.
+// are immutable shared packed arrays so that nesting (e.g. a snapshot
+// embedded in an Afek cell) stays cheap to copy and safe to share.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -20,24 +21,38 @@
 
 namespace wfd {
 
-class RegVal;
-
-// Immutable tuple payload. shared_ptr keeps copies O(1); contents are
-// never mutated after construction, so sharing is safe.
-using RegTuple = std::shared_ptr<const std::vector<RegVal>>;
-
 class RegVal {
  public:
+  // Non-owning, allocation-free view over a tuple's elements. Returned by
+  // asTuple(); valid as long as the RegVal (or any copy sharing its
+  // payload) is alive. Supports the vector-ish surface the algorithms
+  // use: size(), operator[], range-for.
+  class TupleView {
+   public:
+    using value_type = RegVal;
+    [[nodiscard]] std::size_t size() const { return size_; }
+    [[nodiscard]] bool empty() const { return size_ == 0; }
+    const RegVal& operator[](std::size_t i) const {
+      assert(i < size_);
+      return data_[i];
+    }
+    [[nodiscard]] const RegVal* begin() const { return data_; }
+    [[nodiscard]] const RegVal* end() const { return data_ + size_; }
+
+   private:
+    friend class RegVal;
+    constexpr TupleView(const RegVal* data, std::size_t size)
+        : data_(data), size_(size) {}
+    const RegVal* data_ = nullptr;
+    std::size_t size_ = 0;
+  };
+
   // Bottom (the paper's ⊥): the initial content of every register.
   RegVal() = default;
   RegVal(std::int64_t v) : v_(v) {}                    // NOLINT(google-explicit-constructor)
   RegVal(bool b) : v_(b) {}                            // NOLINT(google-explicit-constructor)
   RegVal(const ProcSet& s) : v_(s) {}                  // NOLINT(google-explicit-constructor)
-  static RegVal tuple(std::vector<RegVal> elems) {
-    RegVal r;
-    r.v_ = std::make_shared<const std::vector<RegVal>>(std::move(elems));
-    return r;
-  }
+  static RegVal tuple(std::vector<RegVal> elems);
 
   [[nodiscard]] bool isBottom() const {
     return std::holds_alternative<std::monostate>(v_);
@@ -50,7 +65,7 @@ class RegVal {
     return std::holds_alternative<ProcSet>(v_);
   }
   [[nodiscard]] bool isTuple() const {
-    return std::holds_alternative<RegTuple>(v_);
+    return std::holds_alternative<Tuple>(v_);
   }
 
   // Checked accessors: calling the wrong one on a live simulation is a
@@ -58,7 +73,7 @@ class RegVal {
   [[nodiscard]] std::int64_t asInt() const;
   [[nodiscard]] bool asBool() const;
   [[nodiscard]] const ProcSet& asSet() const;
-  [[nodiscard]] const std::vector<RegVal>& asTuple() const;
+  [[nodiscard]] TupleView asTuple() const;
 
   [[nodiscard]] std::string toString() const;
 
@@ -71,7 +86,18 @@ class RegVal {
   friend bool operator==(const RegVal& a, const RegVal& b);
 
  private:
-  std::variant<std::monostate, std::int64_t, bool, ProcSet, RegTuple> v_;
+  // Immutable packed tuple payload: a single make_shared<RegVal[]>
+  // allocation holds the control block and the elements together (the
+  // previous shared_ptr<const vector<RegVal>> boxing cost two). Copies
+  // stay O(1); contents are never mutated after construction, so sharing
+  // is safe. Kept at the same variant index as the old representation so
+  // hash64() — and with it every recorded trace hash — is unchanged.
+  struct Tuple {
+    std::shared_ptr<const RegVal[]> elems;
+    std::size_t size = 0;
+  };
+
+  std::variant<std::monostate, std::int64_t, bool, ProcSet, Tuple> v_;
 };
 
 inline bool operator!=(const RegVal& a, const RegVal& b) { return !(a == b); }

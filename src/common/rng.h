@@ -7,6 +7,7 @@
 // exactly the paper's notion of a failure detector history.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 
 namespace wfd {
@@ -17,10 +18,37 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed);
 
-  std::uint64_t next();
+  // One xoshiro256++ draw. Inline: the schedulers call this every step.
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
   // Uniform in [0, bound). bound must be > 0.
-  std::uint64_t below(std::uint64_t bound);
+  //
+  // Rejection sampling against a bound-derived limit keeps the draw
+  // unbiased; the limit (one 64-bit division) is cached for the last
+  // bound seen, since schedule sampling asks for the same bound millions
+  // of times in a row. The cache changes cost only — the returned draw
+  // sequence is identical with or without it.
+  std::uint64_t below(std::uint64_t bound) {
+    assert(bound > 0);
+    if (bound != cached_bound_) {
+      cached_bound_ = bound;
+      cached_limit_ = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+    }
+    std::uint64_t r = next();
+    while (r >= cached_limit_) r = next();
+    // Power-of-two bounds take the mask form of the same remainder.
+    return (bound & (bound - 1)) == 0 ? r & (bound - 1) : r % bound;
+  }
 
   // Uniform in [lo, hi] inclusive.
   std::int64_t range(std::int64_t lo, std::int64_t hi);
@@ -28,7 +56,13 @@ class Rng {
   bool chance(double p);  // true with probability p
 
  private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t s_[4];
+  std::uint64_t cached_bound_ = 0;  // 0 = no limit cached (bound is > 0)
+  std::uint64_t cached_limit_ = 0;
 };
 
 // SplitMix64-based stateless hash; uniform over [0, bound).

@@ -9,21 +9,21 @@ ProcCtx*& currentProc() {
   return cur;
 }
 
+// The policies below run once per simulated step, so they must not touch
+// the heap: rank-based selection via ProcSet::nth / nextAbove replaces the
+// old members() vectors. Each rewrite draws from the RNG exactly as the
+// vector version did (same call count, same bounds), so every schedule —
+// and therefore every golden trace hash — is bit-identical.
+
 Pid RandomPolicy::next(const ProcSet& runnable, const World&, Rng& rng) {
-  const auto members = runnable.members();
-  return members[rng.below(members.size())];
+  const auto size = static_cast<std::uint64_t>(runnable.size());
+  return runnable.nth(static_cast<int>(rng.below(size)));
 }
 
 Pid RoundRobinPolicy::next(const ProcSet& runnable, const World&, Rng&) {
   // Smallest pid strictly greater than last_, wrapping around.
-  const auto members = runnable.members();
-  for (Pid p : members) {
-    if (p > last_) {
-      last_ = p;
-      return p;
-    }
-  }
-  last_ = members.front();
+  const Pid above = runnable.nextAbove(last_);
+  last_ = above >= 0 ? above : runnable.min();
   return last_;
 }
 
@@ -31,13 +31,13 @@ Pid EventuallySynchronousPolicy::next(const ProcSet& runnable,
                                       const World& world, Rng& rng) {
   if (world.now() >= gst_) return rr_.next(runnable, world, rng);
   // Chaotic phase: starve a rotating victim; run the rest at random.
-  const auto members = runnable.members();
-  if (members.size() == 1) return members.front();
+  const auto size = static_cast<std::size_t>(runnable.size());
+  if (size == 1) return runnable.min();
   const auto victim_idx = static_cast<std::size_t>(
-      (world.now() / starve_stretch_) % static_cast<Time>(members.size()));
-  std::size_t pick = rng.below(members.size() - 1);
+      (world.now() / starve_stretch_) % static_cast<Time>(size));
+  std::size_t pick = rng.below(size - 1);
   if (pick >= victim_idx) ++pick;
-  return members[pick];
+  return runnable.nth(static_cast<int>(pick));
 }
 
 ScriptedPolicy::ScriptedPolicy(std::vector<Pid> script,
@@ -63,9 +63,19 @@ void Scheduler::add(Pid p, Coro<Unit> coro) {
   slot->ctx.pid = p;
   slot->coro = std::move(coro);
   slots_[static_cast<std::size_t>(p)] = std::move(slot);
+  // Fold the newcomer into the cached liveness state.
+  undone_.insert(p);
+  if (world_->pattern().isCorrect(p)) ++correct_undone_;
+  const Time ct = world_->pattern().crashTime(p);
+  if (ct > world_->now()) {
+    runnable_.insert(p);
+    if (ct < next_crash_) next_crash_ = ct;
+  }
 }
 
-ProcSet Scheduler::runnable() const {
+// ---- Cached liveness ------------------------------------------------------
+
+ProcSet Scheduler::runnableScan() const {
   ProcSet s;
   const Time now = world_->now();
   for (const auto& slot : slots_) {
@@ -78,18 +88,71 @@ ProcSet Scheduler::runnable() const {
   return s;
 }
 
-bool Scheduler::allCorrectDone() const {
+int Scheduler::correctUndoneScan() const {
+  int n = 0;
   for (const auto& slot : slots_) {
     if (!slot) continue;
-    if (world_->pattern().isCorrect(slot->ctx.pid) && !slot->ctx.done) {
-      return false;
+    if (world_->pattern().isCorrect(slot->ctx.pid) && !slot->ctx.done) ++n;
+  }
+  return n;
+}
+
+void Scheduler::syncLiveness() const {
+  if (world_->patternVersion() != fp_version_seen_) {
+    rebuildLiveness();  // chaos injected a crash: the pattern changed
+  } else if (world_->now() >= next_crash_) {
+    sweepCrashes();  // the clock reached a pre-scheduled crash time
+  }
+  if (world_->auditor() != nullptr) auditCrossCheck();
+}
+
+void Scheduler::rebuildLiveness() const {
+  fp_version_seen_ = world_->patternVersion();
+  const Time now = world_->now();
+  runnable_ = ProcSet{};
+  correct_undone_ = 0;
+  next_crash_ = kNeverCrashes;
+  for (const Pid p : undone_) {
+    if (world_->pattern().isCorrect(p)) ++correct_undone_;
+    const Time ct = world_->pattern().crashTime(p);
+    if (ct > now) {
+      runnable_.insert(p);
+      if (ct < next_crash_) next_crash_ = ct;
     }
   }
-  return true;
+}
+
+void Scheduler::sweepCrashes() const {
+  const Time now = world_->now();
+  Time next = kNeverCrashes;
+  // The iterator snapshots the mask, so erasing mid-loop is safe.
+  for (const Pid p : runnable_) {
+    const Time ct = world_->pattern().crashTime(p);
+    if (ct <= now) {
+      runnable_.erase(p);  // p is in F(now) from here on
+    } else if (ct < next) {
+      next = ct;
+    }
+  }
+  next_crash_ = next;
+}
+
+void Scheduler::auditCrossCheck() const {
+  // Audit mode re-derives liveness with the pre-refactor scans every sync;
+  // any divergence is an internal invariant failure, reported through the
+  // same diagnosable channel as other model violations.
+  if (runnable_ != runnableScan()) {
+    throw SimAbort("scheduler audit: cached runnable set diverged from scan");
+  }
+  if (correct_undone_ != correctUndoneScan()) {
+    throw SimAbort(
+        "scheduler audit: cached correct-undone count diverged from scan");
+  }
 }
 
 void Scheduler::step(Pid p) {
-  auto& slot = *slots_.at(static_cast<std::size_t>(p));
+  assert(static_cast<std::size_t>(p) < slots_.size() && slots_[static_cast<std::size_t>(p)]);
+  auto& slot = *slots_[static_cast<std::size_t>(p)];
   // Audit hooks come first: in kThrow mode the auditor must get to
   // report a crashed-process step before the asserts below halt us.
   StepAuditor* const audit = world_->auditor();
@@ -142,6 +205,10 @@ void Scheduler::step(Pid p) {
 
   if (slot.coro.done()) {
     slot.ctx.done = true;
+    // Retire p from the cached liveness state.
+    undone_.erase(p);
+    runnable_.erase(p);
+    if (world_->pattern().isCorrect(p)) --correct_undone_;
     slot.coro.rethrowIfFailed();
   }
 }
@@ -149,11 +216,13 @@ void Scheduler::step(Pid p) {
 Time Scheduler::run(SchedulePolicy& policy, Time max_steps) {
   Time taken = 0;
   while (taken < max_steps) {
-    if (allCorrectDone()) break;
-    const ProcSet r = runnable();
-    if (r.empty()) break;  // every live process finished
-    const Pid p = policy.next(r, *world_, rng_);
-    assert(r.contains(p) && "policy chose a non-runnable process");
+    // One sync covers both checks and the policy call below; runnable()
+    // and allCorrectDone() are not re-entered per step.
+    syncLiveness();
+    if (correct_undone_ == 0) break;
+    if (runnable_.empty()) break;  // every live process finished
+    const Pid p = policy.next(runnable_, *world_, rng_);
+    assert(runnable_.contains(p) && "policy chose a non-runnable process");
     step(p);
     ++taken;
   }

@@ -95,9 +95,22 @@ class Scheduler {
   void add(Pid p, Coro<Unit> coro);
 
   // Processes allowed to take a step now: not finished, not crashed.
-  [[nodiscard]] ProcSet runnable() const;
+  //
+  // Liveness is maintained incrementally — updated on add(), on a process
+  // finishing in step(), and (lazily) when the clock reaches the next
+  // scheduled crash or a chaos injection bumps World::patternVersion().
+  // The pre-existing full-slot scans survive as *Scan() and, whenever a
+  // step auditor is attached (WFD_AUDIT), every sync cross-checks the
+  // cached state against them.
+  [[nodiscard]] ProcSet runnable() const {
+    syncLiveness();
+    return runnable_;
+  }
 
-  [[nodiscard]] bool allCorrectDone() const;
+  [[nodiscard]] bool allCorrectDone() const {
+    syncLiveness();
+    return correct_undone_ == 0;
+  }
 
   // One atomic step of p. p must be runnable.
   void step(Pid p);
@@ -107,7 +120,8 @@ class Scheduler {
   Time run(SchedulePolicy& policy, Time max_steps);
 
   [[nodiscard]] const ProcCtx& ctx(Pid p) const {
-    return slots_.at(static_cast<std::size_t>(p))->ctx;
+    // Cold inspection path (checkers, tests); bounds-checked on purpose.
+    return slots_.at(static_cast<std::size_t>(p))->ctx;  // model-lint-allow: cold inspection accessor
   }
 
   // The run's policy RNG (seeded from RunConfig::seed). External drivers
@@ -121,9 +135,33 @@ class Scheduler {
     Coro<Unit> coro;
     bool started = false;
   };
+
+  // Bring the cached liveness state up to date with the world clock and
+  // failure pattern. Cheap (two compares) unless a crash time was crossed
+  // or the pattern itself changed.
+  void syncLiveness() const;
+  void rebuildLiveness() const;  // full recompute after a pattern mutation
+  void sweepCrashes() const;     // the clock reached next_crash_
+  void auditCrossCheck() const;  // cached state vs. the reference scans
+
+  // Reference implementations: the pre-refactor O(n) full-slot scans.
+  // Only used by rebuildLiveness() and the audit-mode cross-check.
+  [[nodiscard]] ProcSet runnableScan() const;
+  [[nodiscard]] int correctUndoneScan() const;
+
   World* world_;
   Rng rng_;
   std::vector<std::unique_ptr<Slot>> slots_;
+  ProcSet undone_;  // registered processes whose coroutine has not returned
+
+  // Cached liveness, maintained by add()/step() and the lazy syncs above.
+  // Mutable because runnable()/allCorrectDone() are conceptually const:
+  // the cache is an implementation detail invisible to callers, and each
+  // Scheduler is confined to one thread (a batch shard owns its runs).
+  mutable ProcSet runnable_;         // undone_ minus crashed-by-now
+  mutable int correct_undone_ = 0;   // |undone_ ∩ correct(F)|
+  mutable Time next_crash_ = kNeverCrashes;  // min crash time in runnable_
+  mutable std::uint64_t fp_version_seen_ = 0;
 };
 
 }  // namespace wfd::sim

@@ -84,6 +84,7 @@ OpResult World::execute(Pid p, const Op& op) {
 
 void World::injectCrash(Pid p) {
   fp_.injectCrash(p, now_);
+  ++fp_version_;  // invalidate cached scheduler liveness
   // Injection is part of the run's (chaos) configuration: record it so
   // replays of the same seeds hash identically and diagnosable traces
   // show where the adversary struck.

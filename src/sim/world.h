@@ -53,6 +53,12 @@ class World {
   [[nodiscard]] Time now() const { return now_; }
   void advanceClock() { ++now_; }
 
+  // Bumped by injectCrash. The scheduler caches liveness (runnable set,
+  // correct-undone count) keyed on this counter, so a mid-run pattern
+  // mutation invalidates the cache without the scheduler re-scanning the
+  // pattern every step.
+  [[nodiscard]] std::uint64_t patternVersion() const { return fp_version_; }
+
   // Chaos crash injection (sim/chaos.h): crash p at the current time.
   // The scheduler's runnable() consults the mutated pattern, so p takes
   // no further steps — exactly run condition (1). Outside the chaos
@@ -98,6 +104,7 @@ class World {
   fd::FdPtr fd_;
   SnapshotFlavor flavor_;
   Time now_ = 0;
+  std::uint64_t fp_version_ = 0;
   ObjectTable objects_;
   Trace trace_;
   std::unique_ptr<StepAuditor> audit_;

@@ -1,0 +1,250 @@
+// Golden trace-hash regression: the safety net for hot-path work.
+//
+// The determinism contract for perf changes (docs/PERF.md) demands that a
+// scheduler/ProcSet/RegVal optimization changes not one executed schedule:
+// every trace hash, step count, and decision vector must stay bit-identical
+// to the binary the hashes below were recorded from. This suite replays a
+// fixed grid of family × seed cells — E1-shaped (Fig. 1 set agreement over
+// random, round-robin, eventually-synchronous, scripted, and Afek-snapshot
+// schedules), E3-shaped (Fig. 3 extraction), and E16-shaped (chaos-injected
+// watched runs) — and compares against tests/golden_hashes.inc.
+//
+// The .inc file was recorded from pre-refactor main (PR 4) and is
+// PERMANENT: it must only be regenerated when a change intentionally
+// alters schedules (a new RNG, a policy semantics change), never to make
+// a perf PR pass. Regenerate with:
+//
+//   ./build/tests/golden_hash_test --golden-record > tests/golden_hashes.inc
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "test_util.h"
+
+namespace wfd::test {
+namespace {
+
+using core::extractUpsilonF;
+using core::phiOmegaK;
+using core::upsilonSetAgreement;
+using sim::ChaosConfig;
+using sim::CrashInjection;
+using sim::Env;
+using sim::FailurePattern;
+using sim::GlitchKind;
+using sim::OpDelay;
+using sim::RunConfig;
+using sim::RunReport;
+using sim::RunResult;
+using sim::WatchdogConfig;
+
+struct GoldenCell {
+  const char* family;
+  std::uint64_t seed;
+  std::uint64_t trace_hash;
+  Time steps;
+  std::uint64_t outputs_sig;  // decisions (+ chaos verdict) signature
+};
+
+const GoldenCell kGolden[] = {
+#define GOLDEN(family, seed, hash, steps, outputs) \
+  {family, seed, hash, steps, outputs},
+#include "golden_hashes.inc"
+#undef GOLDEN
+};
+
+const char* const kFamilies[] = {
+    "fig1",   "fig1-rr", "fig1-afek", "fig1-esync",
+    "fig1-scripted", "fig3",    "chaos",
+};
+constexpr std::uint64_t kSeeds[] = {1, 2, 7, 23};
+
+// Same mixing round as Trace/RegVal so the signature is stable across
+// platforms and recorder runs.
+std::uint64_t mix(std::uint64_t h, std::uint64_t x) {
+  h ^= x + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  return h;
+}
+
+struct CellOutcome {
+  std::uint64_t trace_hash = 0;
+  Time steps = 0;
+  std::uint64_t outputs_sig = 0;
+};
+
+std::uint64_t decisionsSig(const RunResult& rr, std::uint64_t h) {
+  for (const auto& [p, v] : rr.decisions) {
+    h = mix(h, static_cast<std::uint64_t>(p) + 1);
+    h = mix(h, static_cast<std::uint64_t>(v));
+  }
+  return h;
+}
+
+CellOutcome outcomeOf(const RunResult& rr, Time steps, std::uint64_t extra) {
+  CellOutcome out;
+  out.trace_hash = rr.trace().hash64();
+  out.steps = steps;
+  out.outputs_sig = decisionsSig(rr, mix(0xCBF29CE484222325ULL, extra));
+  return out;
+}
+
+// E1-shaped: Fig. 1 Upsilon set agreement, one pre-seeded crash.
+RunConfig fig1Config(int n_plus_1, std::uint64_t seed) {
+  RunConfig cfg;
+  cfg.n_plus_1 = n_plus_1;
+  cfg.fp = FailurePattern::withCrashes(n_plus_1, {{1, 120}});
+  cfg.fd = fd::makeUpsilon(*cfg.fp, 150, seed);
+  cfg.seed = seed;
+  return cfg;
+}
+
+sim::AlgoFn fig1Algo() {
+  return [](Env& e, Value v) { return upsilonSetAgreement(e, v); };
+}
+
+// Drive a Run under an explicit policy (pins the policy RNG-draw contract).
+CellOutcome runUnder(RunConfig cfg, sim::SchedulePolicy& policy,
+                     const std::vector<Value>& props) {
+  sim::Run run(cfg, fig1Algo(), props);
+  const Time taken = run.scheduler().run(policy, cfg.max_steps);
+  const RunResult rr = run.finish(taken);
+  return outcomeOf(rr, taken, 0);
+}
+
+CellOutcome runCell(const std::string& family, std::uint64_t seed) {
+  if (family == "fig1") {
+    const RunConfig cfg = fig1Config(4, seed);
+    const RunResult rr = sim::runTask(cfg, fig1Algo(), {10, 20, 30, 40});
+    return outcomeOf(rr, rr.steps, 0);
+  }
+  if (family == "fig1-rr") {
+    RunConfig cfg = fig1Config(4, seed);
+    cfg.policy = sim::PolicyKind::kRoundRobin;
+    const RunResult rr = sim::runTask(cfg, fig1Algo(), {10, 20, 30, 40});
+    return outcomeOf(rr, rr.steps, 0);
+  }
+  if (family == "fig1-afek") {
+    RunConfig cfg;
+    cfg.n_plus_1 = 3;
+    cfg.fp = FailurePattern::failureFree(3);
+    cfg.fd = fd::makeUpsilon(*cfg.fp, 80, seed);
+    cfg.seed = seed;
+    cfg.flavor = sim::SnapshotFlavor::kAfek;
+    const RunResult rr = sim::runTask(cfg, fig1Algo(), {1, 2, 3});
+    return outcomeOf(rr, rr.steps, 0);
+  }
+  if (family == "fig1-esync") {
+    sim::EventuallySynchronousPolicy pol(/*gst=*/400, /*starve_stretch=*/97);
+    return runUnder(fig1Config(4, seed), pol, {10, 20, 30, 40});
+  }
+  if (family == "fig1-scripted") {
+    sim::ScriptedPolicy pol({0, 0, 2, 3, 1, 2, 0, 3, 3, 1},
+                            std::make_unique<sim::RoundRobinPolicy>());
+    return runUnder(fig1Config(4, seed), pol, {10, 20, 30, 40});
+  }
+  if (family == "fig3") {
+    const int n_plus_1 = 4;
+    RunConfig cfg;
+    cfg.n_plus_1 = n_plus_1;
+    cfg.fp = FailurePattern::random(n_plus_1, n_plus_1 - 1, 40, seed);
+    cfg.fd = fd::makeOmega(*cfg.fp, 100, seed);
+    cfg.seed = seed;
+    cfg.max_steps = 60'000;
+    const auto phi = phiOmegaK(n_plus_1);
+    const RunResult rr = sim::runTask(
+        cfg, [phi](Env& e, Value) { return extractUpsilonF(e, phi); },
+        std::vector<Value>(static_cast<std::size_t>(n_plus_1), 0));
+    return outcomeOf(rr, rr.steps, 0);
+  }
+  if (family == "chaos") {
+    // E16-shaped: legal injector composition (random crashes, starvation,
+    // op delay, in-axiom FD noise) under the watchdog. Exercises the
+    // mid-run injectCrash path against the scheduler's runnable tracking.
+    const int n_plus_1 = 4;
+    RunConfig cfg;
+    cfg.n_plus_1 = n_plus_1;
+    cfg.fp = FailurePattern::withCrashes(n_plus_1, {{n_plus_1 - 1, 50}});
+    cfg.fd = fd::makeUpsilon(*cfg.fp, ProcSet::full(n_plus_1), 300, seed);
+    cfg.seed = seed;
+    ChaosConfig chaos;
+    chaos.seed = seed;
+    chaos.max_faulty = 2;
+    // Short horizon / early window: the runs below finish in a few dozen
+    // steps, and the injectors must actually fire inside that window for
+    // this family to pin the mid-run crash + schedule-bias paths.
+    chaos.crashes.push_back({CrashInjection::Strategy::kRandom,
+                             /*victim=*/-1, /*at=*/0, /*horizon=*/12,
+                             /*count=*/2, /*seed=*/seed * 7});
+    chaos.starvation.push_back({ProcSet{0}, 5, 10});
+    chaos.op_delay = OpDelay{8, 3, seed};
+    chaos.glitch = {GlitchKind::kScrambleNoise, 0, seed};
+    const RunReport rep =
+        runChaosTask(cfg, chaos, WatchdogConfig{3'000'000, 0, n_plus_1 - 1},
+                     fig1Algo(), distinctProposals(n_plus_1));
+    return outcomeOf(rep.result, rep.steps,
+                     static_cast<std::uint64_t>(rep.verdict) + 1);
+  }
+  ADD_FAILURE() << "unknown golden family: " << family;
+  return {};
+}
+
+TEST(GoldenHashes, GridIsComplete) {
+  // One recorded cell for every family × seed the recorder emits — a
+  // truncated or stale .inc fails loudly instead of silently shrinking
+  // the safety net.
+  EXPECT_EQ(std::size(kGolden), std::size(kFamilies) * std::size(kSeeds));
+}
+
+TEST(GoldenHashes, EveryCellReplaysBitIdentically) {
+  for (const GoldenCell& cell : kGolden) {
+    const CellOutcome got = runCell(cell.family, cell.seed);
+    EXPECT_EQ(got.trace_hash, cell.trace_hash)
+        << cell.family << " seed=" << cell.seed << ": trace hash diverged";
+    EXPECT_EQ(got.steps, cell.steps)
+        << cell.family << " seed=" << cell.seed << ": step count diverged";
+    EXPECT_EQ(got.outputs_sig, cell.outputs_sig)
+        << cell.family << " seed=" << cell.seed
+        << ": decisions/verdict diverged";
+  }
+}
+
+int goldenRecord() {
+  std::printf(
+      "// Golden per-cell (trace hash, step count, outputs signature)\n"
+      "// recorded from pre-refactor main by golden_hash_test "
+      "--golden-record.\n"
+      "// DO NOT regenerate to make a perf change pass: bit-identical\n"
+      "// replay against this file IS the determinism contract "
+      "(docs/PERF.md).\n"
+      "// clang-format off\n");
+  for (const char* family : kFamilies) {
+    for (const std::uint64_t seed : kSeeds) {
+      const CellOutcome got = runCell(family, seed);
+      std::printf("GOLDEN(\"%s\", %" PRIu64 ", 0x%016" PRIX64
+                  "ull, %" PRId64 ", 0x%016" PRIX64 "ull)\n",
+                  family, seed, got.trace_hash,
+                  static_cast<std::int64_t>(got.steps), got.outputs_sig);
+    }
+  }
+  std::printf("// clang-format on\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace wfd::test
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--golden-record") == 0) {
+      return wfd::test::goldenRecord();
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -32,7 +32,8 @@ Views collect(const sim::RunResult& rr) {
   Views out;
   for (const auto& e : rr.trace().events()) {
     if (e.kind == sim::EventKind::kNote && e.label == "view") {
-      out.by_pid[e.pid] = e.value.asTuple();
+      const auto view = e.value.asTuple();
+      out.by_pid[e.pid] = std::vector<RegVal>(view.begin(), view.end());
     }
   }
   return out;

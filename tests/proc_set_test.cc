@@ -84,5 +84,103 @@ TEST(ProcSet, FullAtMaxWidth) {
   EXPECT_TRUE(s.contains(kMaxProcs - 1));
 }
 
+// --- Hot-path select primitives (nth / nextAbove / iterator) --------------
+//
+// These back the allocation-free schedule policies, so the edge shapes —
+// empty set, full 64-bit universe, lone bits at the mask boundaries —
+// each get pinned explicitly.
+
+TEST(ProcSet, NthSelectsIthSmallestMember) {
+  const ProcSet s{1, 3, 5, 40, 63};
+  const auto members = s.members();
+  for (int i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(s.nth(i), members[static_cast<std::size_t>(i)]) << "i=" << i;
+  }
+}
+
+TEST(ProcSet, NthOnFull64MatchesIdentity) {
+  const ProcSet s = ProcSet::full(kMaxProcs);
+  for (int i = 0; i < kMaxProcs; ++i) EXPECT_EQ(s.nth(i), i) << "i=" << i;
+}
+
+TEST(ProcSet, NthOnSingleBitSets) {
+  for (Pid p = 0; p < kMaxProcs; ++p) {
+    EXPECT_EQ(ProcSet::singleton(p).nth(0), p) << "p=" << p;
+  }
+}
+
+TEST(ProcSet, NthAgreesWithMembersOnMixedMasks) {
+  // A handful of irregular masks, including ones dense in the top half.
+  for (const std::uint64_t bits :
+       {std::uint64_t{0x8000000000000001ULL}, std::uint64_t{0xF0F0F0F0F0F0F0F0ULL},
+        std::uint64_t{0x00000000FFFFFFFFULL}, std::uint64_t{0xAAAAAAAAAAAAAAAAULL},
+        std::uint64_t{0x0123456789ABCDEFULL}}) {
+    const ProcSet s = ProcSet::fromBits(bits);
+    const auto members = s.members();
+    for (int i = 0; i < s.size(); ++i) {
+      EXPECT_EQ(s.nth(i), members[static_cast<std::size_t>(i)])
+          << "bits=" << bits << " i=" << i;
+    }
+  }
+}
+
+TEST(ProcSet, NextAboveWalksMembersInOrder) {
+  const ProcSet s{0, 2, 40, 63};
+  EXPECT_EQ(s.nextAbove(-1), 0);
+  EXPECT_EQ(s.nextAbove(0), 2);
+  EXPECT_EQ(s.nextAbove(1), 2);
+  EXPECT_EQ(s.nextAbove(2), 40);
+  EXPECT_EQ(s.nextAbove(40), 63);
+  EXPECT_EQ(s.nextAbove(62), 63);
+  EXPECT_EQ(s.nextAbove(63 - 1), 63);
+}
+
+TEST(ProcSet, NextAboveOnEmptyAndPastEnd) {
+  EXPECT_EQ(ProcSet{}.nextAbove(-1), -1);
+  EXPECT_EQ(ProcSet{}.nextAbove(30), -1);
+  const ProcSet s{5};
+  EXPECT_EQ(s.nextAbove(5), -1);
+  EXPECT_EQ(s.nextAbove(kMaxProcs - 1), -1);
+}
+
+TEST(ProcSet, NextAboveOnFull64) {
+  const ProcSet s = ProcSet::full(kMaxProcs);
+  for (Pid p = -1; p < kMaxProcs - 1; ++p) EXPECT_EQ(s.nextAbove(p), p + 1);
+  EXPECT_EQ(s.nextAbove(kMaxProcs - 1), -1);
+}
+
+TEST(ProcSet, IteratorOverEmptySet) {
+  const ProcSet s;
+  EXPECT_EQ(s.begin(), s.end());
+  int count = 0;
+  for (Pid p : s) {
+    (void)p;
+    ++count;
+  }
+  EXPECT_EQ(count, 0);
+}
+
+TEST(ProcSet, IteratorMatchesMembers) {
+  for (const ProcSet& s :
+       {ProcSet{}, ProcSet{7}, ProcSet{0, 63}, ProcSet{1, 3, 5, 40},
+        ProcSet::full(kMaxProcs)}) {
+    std::vector<Pid> seen;
+    for (Pid p : s) seen.push_back(p);
+    EXPECT_EQ(seen, s.members());
+  }
+}
+
+TEST(ProcSet, IteratorIsForwardIterator) {
+  static_assert(std::forward_iterator<ProcSet::iterator>);
+  const ProcSet s{4, 9};
+  auto it = s.begin();
+  EXPECT_EQ(*it, 4);
+  auto old = it++;  // post-increment returns the pre-step position
+  EXPECT_EQ(*old, 4);
+  EXPECT_EQ(*it, 9);
+  ++it;
+  EXPECT_EQ(it, s.end());
+}
+
 }  // namespace
 }  // namespace wfd

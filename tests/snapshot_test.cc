@@ -67,7 +67,8 @@ TEST_P(SnapshotFlavorTest, ScansAreContainmentOrdered) {
     std::vector<std::vector<RegVal>> scans;
     for (const auto& e : rr.trace().events()) {
       if (e.kind == sim::EventKind::kNote && e.label == "scan") {
-        scans.push_back(e.value.asTuple());
+        const auto view = e.value.asTuple();
+        scans.emplace_back(view.begin(), view.end());
       }
     }
     ASSERT_EQ(scans.size(), static_cast<std::size_t>(n_plus_1 * rounds));

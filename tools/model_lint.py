@@ -28,6 +28,11 @@ guarantees:
                      no-shared-state determinism contract in
                      docs/PARALLEL.md only holds while every piece of
                      mutable state is owned by a Run or guarded by a lock
+  hot-path-alloc     ProcSet::members() / .at() in the scheduler and the
+                     schedule policies (src/sim/scheduler.{h,cc}): the
+                     per-step hot path is allocation-free by contract
+                     (docs/PERF.md) — select pids with nth/nextAbove/
+                     iterators and index slots with asserted operator[]
 
 The harness-facing trees bench/ and examples/ are linted too: their runs
 feed EXPERIMENTS.md rows and documentation, so the same determinism rules
@@ -50,6 +55,10 @@ import sys
 # threads execute the simulator itself concurrently.
 LINTED_DIRS = ["src/core", "src/fd", "src/memory", "bench", "examples"]
 THREAD_SAFETY_DIRS = ["src/core", "src/fd", "src/memory", "src/sim"]
+# Scope entries may also name individual FILES: the hot-path rule binds
+# exactly the scheduler + policy translation units, not all of src/sim
+# (cold sim code legitimately uses members()/at()).
+HOT_PATH_FILES = ["src/sim/scheduler.cc", "src/sim/scheduler.h"]
 
 # (rule-name, compiled regex, explanation[, dirs]) — rules without an
 # explicit dirs entry bind LINTED_DIRS.
@@ -121,11 +130,22 @@ RULES = [
         "by a Run or behind an explicit lock (docs/PARALLEL.md)",
         THREAD_SAFETY_DIRS,
     ),
+    (
+        "hot-path-alloc",
+        # members() materializes a heap vector per call; .at() adds a
+        # bounds-throw on paths that run once per simulated step.
+        re.compile(r"\.\s*members\s*\(|\.\s*at\s*\("),
+        "the scheduler/policy per-step path is allocation-free by contract "
+        "(docs/PERF.md): select pids with ProcSet::nth/nextAbove/iterators "
+        "instead of members(), and index slot vectors with asserted "
+        "operator[] instead of .at()",
+        HOT_PATH_FILES,
+    ),
 ]
 
 
 def rule_dirs(rule):
-    """Directories a rule binds: explicit 4th element, else LINTED_DIRS."""
+    """Paths a rule binds (dirs or files): 4th element, else LINTED_DIRS."""
     return rule[3] if len(rule) > 3 else LINTED_DIRS
 
 
@@ -203,19 +223,26 @@ def scan_tree(root: pathlib.Path):
     for d in all_linted_dirs():
         rules = [r for r in RULES if d in rule_dirs(r)]
         base = root / d
-        if not base.is_dir():
-            print(f"model_lint: missing directory {base}", file=sys.stderr)
+        if base.is_file():
+            paths = [base]  # file-scoped rule (e.g. hot-path-alloc)
+        elif base.is_dir():
+            paths = [
+                p
+                for p in sorted(base.rglob("*"))
+                if p.suffix in EXTENSIONS and p.is_file()
+            ]
+        else:
+            print(f"model_lint: missing path {base}", file=sys.stderr)
             return None, 0
-        for p in sorted(base.rglob("*")):
-            if p.suffix in EXTENSIONS and p.is_file():
-                files += 1
-                findings.extend(
-                    scan_text(
-                        p.read_text(encoding="utf-8"),
-                        str(p.relative_to(root)),
-                        rules,
-                    )
+        for p in paths:
+            files += 1
+            findings.extend(
+                scan_text(
+                    p.read_text(encoding="utf-8"),
+                    str(p.relative_to(root)),
+                    rules,
                 )
+            )
     return findings, files
 
 
@@ -230,6 +257,7 @@ VIOLATING_SNIPPETS = {
     "direct-world": "void rogue(Env& env) { env.world()->objects(); }\n",
     "fp-mutation": "void rogue(World& w) { w.injectCrash(2); }\n",
     "global-mutable": "static int g_hits = 0;\n",
+    "hot-path-alloc": "Pid pick(const ProcSet& r) { return r.members()[0]; }\n",
 }
 
 CLEAN_SNIPPET = """\
