@@ -23,7 +23,12 @@
 // submission order, so the certification logic below is identical at any
 // pool size. The soak also prints an (injector x workload) coverage
 // matrix — which chaos cells this run actually visited (ROADMAP item) —
-// and `--json out.json` records runs, wall time and steps/s per campaign.
+// and FAILS (non-zero exit) if any planned cell is empty: coverage is
+// part of the certification, not decoration. `--json out.json` records
+// runs, wall time, steps/s and scheduler/memo counters per campaign;
+// --steal/--no-steal and --memo/--no-memo select the batch scheduler
+// mode and the whole-run ReportCache (replay determinism always
+// re-executes, memo or not).
 //
 // --quick shrinks the campaign for CI smoke; the full depth (>= 5,000
 // legal + >= 1,000 negative runs) is the scheduled soak and the numbers
@@ -142,6 +147,54 @@ void printCoverage(const CoverageMatrix& m,
   t.print();
 }
 
+// The soak PLANS every one of these (injector, workload) cells: the
+// quick campaign sizes are chosen so each seed-derived injector fires at
+// least once per workload. A refactor of legalChaos or a workload that
+// silently stops visiting a cell must FAIL certification, not just
+// shrink a printed table.
+void checkCoverage(const CoverageMatrix& m) {
+  const std::vector<const char*> legal = {
+      "glitch:scramble-noise", "glitch:delay-stabilization",
+      "crash:random",          "crash:fd-leader",
+      "crash:on-decide",       "sched:starvation",
+      "sched:op-delay"};
+  const std::vector<const char*> illegal = {
+      "glitch:empty-answer", "glitch:undersized-answer",
+      "glitch:post-stab-flap", "glitch:stab-to-correct",
+      "glitch:stab-exclude-correct"};
+  const std::vector<std::pair<const char*, const std::vector<const char*>*>>
+      wants = {{"fig1", &legal},
+               {"fig2", &legal},
+               {"fig3", &legal},
+               {"negative", &illegal}};
+  for (const auto& [workload, injectors] : wants) {
+    for (const char* inj : *injectors) {
+      const auto it = m.find(inj);
+      const bool hit = it != m.end() && it->second.count(workload) > 0 &&
+                       it->second.at(workload) > 0;
+      require(hit, std::string("coverage hole: planned cell (") + inj +
+                       " x " + workload + ") was never visited");
+    }
+  }
+}
+
+// Scheduler/memo counters summed across the soak's batches.
+struct PoolTotals {
+  sim::BatchStats last;
+  std::size_t steal_ops = 0;
+  std::size_t stolen_cells = 0;
+  std::size_t memo_hits = 0;
+  std::size_t memo_misses = 0;
+
+  void add(const sim::BatchStats& s) {
+    last = s;
+    steal_ops += s.steal_ops;
+    stolen_cells += s.stolen_cells;
+    memo_hits += s.memo_hits;
+    memo_misses += s.memo_misses;
+  }
+};
+
 // ---- Campaign aggregation ------------------------------------------------
 
 struct CampaignStats {
@@ -233,11 +286,12 @@ BatchCell fig1Cell(std::uint64_t seed, const std::vector<Value>& props) {
   cell.algo = [](Env& e, Value v) { return core::upsilonSetAgreement(e, v); };
   cell.proposals = props;
   cell.post = agreementCheck(3, props);
+  cell.memo_family = "chaos-fig1";
   return cell;
 }
 
 CampaignStats legalFig1(int runs, const sim::BatchOptions& opts,
-                        CoverageMatrix& cover) {
+                        CoverageMatrix& cover, PoolTotals& pool) {
   const auto props = std::vector<Value>{100, 101, 102, 103};
   std::vector<BatchCell> cells;
   cells.reserve(static_cast<std::size_t>(runs));
@@ -246,7 +300,9 @@ CampaignStats legalFig1(int runs, const sim::BatchOptions& opts,
     cells.push_back(fig1Cell(seed, props));
     recordCoverage(cover, "fig1", *cells.back().chaos);
   }
-  const auto results = driveWatchedBatch(cells, opts);
+  sim::BatchStats stats;
+  const auto results = driveWatchedBatch(cells, opts, &stats);
+  pool.add(stats);
   CampaignStats st;
   for (const CellResult& r : results) {
     st.add(r);
@@ -262,7 +318,7 @@ CampaignStats legalFig1(int runs, const sim::BatchOptions& opts,
 }
 
 CampaignStats legalFig2(int runs, const sim::BatchOptions& opts,
-                        CoverageMatrix& cover) {
+                        CoverageMatrix& cover, PoolTotals& pool) {
   const auto props = std::vector<Value>{100, 101, 102, 103, 104};
   std::vector<BatchCell> cells;
   cells.reserve(static_cast<std::size_t>(runs));
@@ -278,10 +334,13 @@ CampaignStats legalFig2(int runs, const sim::BatchOptions& opts,
     };
     cell.proposals = props;
     cell.post = agreementCheck(2, props);
+    cell.memo_family = "chaos-fig2";
     recordCoverage(cover, "fig2", *cell.chaos);
     cells.push_back(std::move(cell));
   }
-  const auto results = driveWatchedBatch(cells, opts);
+  sim::BatchStats stats;
+  const auto results = driveWatchedBatch(cells, opts, &stats);
+  pool.add(stats);
   CampaignStats st;
   for (const CellResult& r : results) {
     st.add(r);
@@ -297,7 +356,7 @@ CampaignStats legalFig2(int runs, const sim::BatchOptions& opts,
 }
 
 CampaignStats legalFig3(int runs, const sim::BatchOptions& opts,
-                        CoverageMatrix& cover) {
+                        CoverageMatrix& cover, PoolTotals& pool) {
   const auto phi = core::phiOmegaK(4);
   std::vector<BatchCell> cells;
   cells.reserve(static_cast<std::size_t>(runs));
@@ -311,10 +370,13 @@ CampaignStats legalFig3(int runs, const sim::BatchOptions& opts,
     cell.watchdog = WatchdogConfig{/*step_budget=*/15'000, 0, 0};
     cell.algo = [phi](Env& e, Value) { return core::extractUpsilonF(e, phi); };
     cell.proposals = std::vector<Value>(4, 0);
+    cell.memo_family = "chaos-fig3";
     recordCoverage(cover, "fig3", *cell.chaos);
     cells.push_back(std::move(cell));
   }
-  const auto results = driveWatchedBatch(cells, opts);
+  sim::BatchStats stats;
+  const auto results = driveWatchedBatch(cells, opts, &stats);
+  pool.add(stats);
   CampaignStats st;
   for (const CellResult& r : results) {
     st.add(r);
@@ -345,7 +407,7 @@ struct NegativeStats {
 
 NegativeStats negativeControls(int runs_per_kind,
                                const sim::BatchOptions& opts,
-                               CoverageMatrix& cover) {
+                               CoverageMatrix& cover, PoolTotals& pool) {
   const auto props4 = std::vector<Value>{0, 0, 0, 0};
   const GlitchKind upsilon_kinds[] = {
       GlitchKind::kEmptyAnswer, GlitchKind::kUndersizedAnswer,
@@ -366,6 +428,7 @@ NegativeStats negativeControls(int runs_per_kind,
       cell.watchdog = WatchdogConfig{200'000, 0, 0};
       cell.algo = fdSampler();
       cell.proposals = props4;
+      cell.memo_family = "chaos-neg-upsilon";
       recordCoverage(cover, "negative", chaos);
       labels.push_back(std::string(sim::glitchName(kind)) + " seed " +
                        std::to_string(seed));
@@ -386,11 +449,14 @@ NegativeStats negativeControls(int runs_per_kind,
     cell.watchdog = WatchdogConfig{200'000, 0, 0};
     cell.algo = fdSampler();
     cell.proposals = props4;
+    cell.memo_family = "chaos-neg-omegak";
     recordCoverage(cover, "negative", chaos);
     labels.push_back("stab-exclude-correct seed " + std::to_string(seed));
     cells.push_back(std::move(cell));
   }
-  const auto results = driveWatchedBatch(cells, opts);
+  sim::BatchStats stats;
+  const auto results = driveWatchedBatch(cells, opts, &stats);
+  pool.add(stats);
   NegativeStats st;
   for (const CellResult& r : results) {
     ++st.runs;
@@ -407,7 +473,11 @@ NegativeStats negativeControls(int runs_per_kind,
 
 // ---- Replay determinism ----
 
-int replayDeterminism(int pairs, const sim::BatchOptions& opts) {
+int replayDeterminism(int pairs, sim::BatchOptions opts) {
+  // The whole point is to EXECUTE each seed twice; a memo would answer
+  // the replay from the first run and certify nothing. Always off here,
+  // whatever --memo said.
+  opts.memo = nullptr;
   const auto props = std::vector<Value>{100, 101, 102, 103};
   // Submit each seed's run twice in one batch: with jobs > 1 the two
   // executions land on different workers, so bit-identical results also
@@ -442,7 +512,8 @@ int replayDeterminism(int pairs, const sim::BatchOptions& opts) {
 int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
   const bool quick = args.quick;
-  const sim::BatchOptions opts{args.jobs};
+  sim::ReportCache memo;
+  const sim::BatchOptions opts = args.batchOptions(&memo);
   const int jobs = sim::resolveJobs(args.jobs);
   // Full depth: >= 5,000 legal runs + >= 1,000 negative controls (the
   // numbers EXPERIMENTS.md row E16 quotes). --quick is the CI smoke.
@@ -452,14 +523,17 @@ int main(int argc, char** argv) {
   const int neg_per_kind = quick ? 12 : 200;
   const int replay_pairs = quick ? 6 : 25;
 
-  std::printf("\n=== chaos certification (%s, jobs=%d) ===\n",
-              quick ? "--quick" : "full depth", jobs);
+  std::printf("\n=== chaos certification (%s, jobs=%d, %s, memo %s) ===\n",
+              quick ? "--quick" : "full depth", jobs,
+              args.steal ? "stealing" : "static shards",
+              args.memo ? "on" : "off");
   const bench::WallTimer wall;
   CoverageMatrix cover;
-  const CampaignStats f1 = legalFig1(fig1_runs, opts, cover);
-  const CampaignStats f2 = legalFig2(fig2_runs, opts, cover);
-  const CampaignStats f3 = legalFig3(fig3_runs, opts, cover);
-  const NegativeStats neg = negativeControls(neg_per_kind, opts, cover);
+  PoolTotals pool;
+  const CampaignStats f1 = legalFig1(fig1_runs, opts, cover, pool);
+  const CampaignStats f2 = legalFig2(fig2_runs, opts, cover, pool);
+  const CampaignStats f3 = legalFig3(fig3_runs, opts, cover, pool);
+  const NegativeStats neg = negativeControls(neg_per_kind, opts, cover, pool);
   const int replays_ok = replayDeterminism(replay_pairs, opts);
   const double wall_s = wall.seconds();
 
@@ -494,6 +568,7 @@ int main(int argc, char** argv) {
             bench::passFail(replays_ok == replay_pairs)});
   t.print();
   printCoverage(cover, {"fig1", "fig2", "fig3", "negative"});
+  checkCoverage(cover);
 
   const long long total_steps = f1.total_steps + f2.total_steps +
                                 f3.total_steps + neg.total_steps;
@@ -506,10 +581,20 @@ int main(int argc, char** argv) {
       neg.runs > 0 ? 100.0 * neg.detected / neg.runs : 0.0);
   std::printf("wall %.2fs at jobs=%d — %d runs, %.0f steps/s\n", wall_s, jobs,
               total_runs, wall_s > 0 ? total_steps / wall_s : 0.0);
+  std::printf("pool: %zu steal ops moved %zu cells; memo %zu hits / %zu "
+              "misses\n",
+              pool.steal_ops, pool.stolen_cells, pool.memo_hits,
+              pool.memo_misses);
 
   if (!args.json_path.empty()) {
     bench::JsonWriter json("bench_chaos", jobs);
     json.note("mode", quick ? "quick" : "full");
+    json.note("scheduler", args.steal ? "steal" : "static");
+    json.note("memo", args.memo ? "on" : "off");
+    json.metric("steal_ops", static_cast<double>(pool.steal_ops));
+    json.metric("stolen_cells", static_cast<double>(pool.stolen_cells));
+    json.metric("memo_hits", static_cast<double>(pool.memo_hits));
+    json.metric("memo_misses", static_cast<double>(pool.memo_misses));
     json.metric("wall_s", wall_s);
     json.metric("total_runs", total_runs);
     json.metric("total_steps", static_cast<double>(total_steps));

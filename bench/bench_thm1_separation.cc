@@ -26,11 +26,16 @@ using sim::Env;
 using sim::FailurePattern;
 
 void easyDirection(const bench::BenchArgs& args) {
-  const sim::BatchRunner runner(sim::BatchOptions{args.jobs});
+  // --memo attaches the whole-run ReportCache: the sweep's detectors come
+  // from the FdCache by digestable construction, so a re-invocation (or a
+  // widened grid sharing rows) answers repeated cells without re-running.
+  sim::ReportCache memo;
+  const sim::BatchRunner runner(args.batchOptions(&memo));
   std::printf(
       "\n=== E4a — easy direction: Omega_n -> Upsilon (complementation), "
-      "jobs=%d ===\n",
-      runner.jobs());
+      "jobs=%d, %s, memo %s ===\n",
+      runner.jobs(), args.steal ? "stealing" : "static shards",
+      args.memo ? "on" : "off");
   struct Row {
     int n_plus_1;
     Time stab;
@@ -41,8 +46,10 @@ void easyDirection(const bench::BenchArgs& args) {
   }
   constexpr std::size_t kSeeds = 10;
   sim::FdCache fds;
+  sim::BatchStats stats;
   const auto results = runner.run(
-      rows.size() * kSeeds, [&rows, &fds](std::size_t i) {
+      rows.size() * kSeeds,
+      [&rows, &fds](std::size_t i) {
         const Row& r = rows[i / kSeeds];
         const std::uint64_t seed = static_cast<std::uint64_t>(i % kSeeds) + 1;
         const auto fp =
@@ -65,8 +72,10 @@ void easyDirection(const bench::BenchArgs& args) {
           }
           out.metrics["last_change"] = static_cast<double>(check.last_change);
         };
+        cell.memo_family = "thm1-easy";
         return cell;
-      });
+      },
+      &stats);
   Table t({"n+1", "stab(Omega_n)", "emulation last change", "axioms"});
   for (std::size_t row = 0; row < rows.size(); ++row) {
     bool ok = true;
@@ -83,6 +92,10 @@ void easyDirection(const bench::BenchArgs& args) {
               bench::passFail(ok)});
   }
   t.print();
+  std::printf("pool: %zu steal ops moved %zu cells; memo %zu hits / %zu "
+              "misses; utilization %.2f\n",
+              stats.steal_ops, stats.stolen_cells, stats.memo_hits,
+              stats.memo_misses, stats.utilization());
 }
 
 void hardDirectionChase() {

@@ -87,10 +87,18 @@ inline void banner(const char* title) {
 //
 //   --quick        shrink campaigns to the CI smoke size
 //   --jobs N       batch-runner worker threads (default: all hardware)
+//   --steal /      work-stealing scheduler on (default) or static
+//   --no-steal     contiguous-block sharding (the speedup baseline)
+//   --memo /       whole-run ReportCache on or off. Default OFF: the
+//   --no-memo      chaos replay-determinism certification re-runs
+//                  identical seeds on purpose, and a memo would answer
+//                  the second run from the first.
 //   --json PATH    write machine-readable results (JsonWriter) to PATH
 struct BenchArgs {
   bool quick = false;
   int jobs = 0;  // 0 = hardware_concurrency (sim::resolveJobs)
+  bool steal = true;
+  bool memo = false;
   std::string json_path;
 
   static BenchArgs parse(int argc, char** argv) {
@@ -100,11 +108,30 @@ struct BenchArgs {
         a.quick = true;
       } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
         a.jobs = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--steal") == 0) {
+        a.steal = true;
+      } else if (std::strcmp(argv[i], "--no-steal") == 0) {
+        a.steal = false;
+      } else if (std::strcmp(argv[i], "--memo") == 0) {
+        a.memo = true;
+      } else if (std::strcmp(argv[i], "--no-memo") == 0) {
+        a.memo = false;
       } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
         a.json_path = argv[++i];
       }
     }
     return a;
+  }
+
+  // BatchOptions for these flags; `cache` is attached only under --memo
+  // (pass the harness's ReportCache so hit-rate stats survive batches).
+  [[nodiscard]] sim::BatchOptions batchOptions(
+      sim::ReportCache* cache = nullptr) const {
+    sim::BatchOptions o;
+    o.jobs = jobs;
+    o.steal = steal;
+    o.memo = memo ? cache : nullptr;
+    return o;
   }
 };
 

@@ -22,6 +22,15 @@ ProcSet AntiOmegaFd::query(Pid p, Time t) const {
   return ProcSet::singleton(q);
 }
 
+std::uint64_t AntiOmegaFd::keyDigest() const {
+  std::uint64_t h = digestString(0xA271, name());
+  h = mixDigest(h, static_cast<std::uint64_t>(n_plus_1_));
+  h = mixDigest(h, static_cast<std::uint64_t>(params_.stable_pid) + 1);
+  h = mixDigest(h, static_cast<std::uint64_t>(params_.stab_time));
+  h = mixDigest(h, params_.noise_seed);
+  return h;
+}
+
 Pid AntiOmegaFd::defaultStablePid(const FailurePattern& fp) {
   const ProcSet faulty = fp.faulty();
   if (!faulty.empty()) return faulty.min();

@@ -27,6 +27,7 @@ class AntiOmegaFd final : public FailureDetector {
   [[nodiscard]] Time stabilizationTime() const override {
     return params_.stab_time;
   }
+  [[nodiscard]] std::uint64_t keyDigest() const override;
 
   [[nodiscard]] Pid stablePid() const { return params_.stable_pid; }
 

@@ -14,6 +14,7 @@
 // live in fd/axioms.h.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -24,6 +25,39 @@
 namespace wfd::fd {
 
 using sim::FailurePattern;
+
+// Sentinel keyDigest() value: this history cannot be pinned by a digest
+// (opaque scripted/mapped functions). Runs using such a detector are
+// excluded from whole-run memoization (sim/report_cache.h).
+inline constexpr std::uint64_t kOpaqueFdDigest = 0;
+
+// One round of splitmix64-style mixing — the same round Trace and RegVal
+// use — so detector digests compose with the trace-hash machinery.
+[[nodiscard]] constexpr std::uint64_t mixDigest(std::uint64_t h,
+                                                std::uint64_t x) {
+  h ^= x + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  return h;
+}
+
+[[nodiscard]] inline std::uint64_t digestString(std::uint64_t h,
+                                                const std::string& s) {
+  h = mixDigest(h, s.size());
+  for (const char c : s) h = mixDigest(h, static_cast<unsigned char>(c));
+  return h;
+}
+
+// A pattern pins the perfect-information detectors (P, <>P) completely,
+// and disambiguates histories whose factories derived defaults from it.
+[[nodiscard]] inline std::uint64_t digestPattern(std::uint64_t h,
+                                                 const FailurePattern& fp) {
+  h = mixDigest(h, static_cast<std::uint64_t>(fp.nProcs()));
+  for (Pid p = 0; p < fp.nProcs(); ++p) {
+    h = mixDigest(h, static_cast<std::uint64_t>(fp.crashTime(p)));
+  }
+  return h;
+}
 
 // What a detector instance claims about its own history, machine-readably:
 // the axiom family its outputs promise to satisfy, plus the family
@@ -55,6 +89,18 @@ class FailureDetector {
 
   // The axiom family this history claims to satisfy; kNone = unchecked.
   [[nodiscard]] virtual AxiomSpec axioms() const { return {}; }
+
+  // Stable 64-bit digest of this history's construction parameters
+  // (stable set, stabilization time, noise seed, pattern, ...). Two
+  // instances whose histories can differ ANYWHERE must digest
+  // differently: sim::ReportCache keys memoized whole-run summaries on
+  // it, so a collision would serve one cell's result for another. The
+  // default is kOpaqueFdDigest — uncacheable — so detector classes must
+  // opt in by overriding; scripted/mapped histories wrapping opaque
+  // callables stay opted out by construction.
+  [[nodiscard]] virtual std::uint64_t keyDigest() const {
+    return kOpaqueFdDigest;
+  }
 };
 
 using FdPtr = std::shared_ptr<const FailureDetector>;

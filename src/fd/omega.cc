@@ -48,6 +48,16 @@ std::string OmegaKFd::name() const {
   return (k_ == 1) ? "Omega" : "Omega^" + std::to_string(k_);
 }
 
+std::uint64_t OmegaKFd::keyDigest() const {
+  std::uint64_t h = digestString(0x03E6A, name());
+  h = mixDigest(h, static_cast<std::uint64_t>(n_plus_1_));
+  h = mixDigest(h, static_cast<std::uint64_t>(k_));
+  h = mixDigest(h, params_.stable_leaders.bits());
+  h = mixDigest(h, static_cast<std::uint64_t>(params_.stab_time));
+  h = mixDigest(h, params_.noise_seed);
+  return h;
+}
+
 ProcSet OmegaKFd::defaultLeaders(const FailurePattern& fp, int k) {
   ProcSet s;
   const Pid leader = fp.correct().min();

@@ -30,6 +30,7 @@ class OmegaKFd final : public FailureDetector {
   [[nodiscard]] AxiomSpec axioms() const override {
     return {AxiomSpec::Family::kOmegaK, k_};
   }
+  [[nodiscard]] std::uint64_t keyDigest() const override;
 
   [[nodiscard]] const ProcSet& stableLeaders() const {
     return params_.stable_leaders;

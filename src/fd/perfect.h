@@ -28,6 +28,9 @@ class PerfectFd final : public FailureDetector {
   ProcSet query(Pid, Time t) const override { return fp_.crashedBy(t); }
   [[nodiscard]] std::string name() const override { return "P"; }
   [[nodiscard]] Time stabilizationTime() const override;
+  [[nodiscard]] std::uint64_t keyDigest() const override {
+    return digestPattern(digestString(0x9E4F, name()), fp_);
+  }
 
  private:
   FailurePattern fp_;
@@ -45,6 +48,12 @@ class EventuallyPerfectFd final : public FailureDetector {
   ProcSet query(Pid p, Time t) const override;
   [[nodiscard]] std::string name() const override { return "<>P"; }
   [[nodiscard]] Time stabilizationTime() const override;
+  [[nodiscard]] std::uint64_t keyDigest() const override {
+    std::uint64_t h = digestPattern(digestString(0xE9EF, name()), fp_);
+    h = mixDigest(h, static_cast<std::uint64_t>(params_.stab_time));
+    h = mixDigest(h, params_.noise_seed);
+    return h;
+  }
 
  private:
   FailurePattern fp_;

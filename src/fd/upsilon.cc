@@ -56,6 +56,21 @@ std::string UpsilonFd::name() const {
   return (f_ == n_plus_1_ - 1) ? "Upsilon" : "Upsilon^" + std::to_string(f_);
 }
 
+std::uint64_t UpsilonFd::keyDigest() const {
+  // Everything query() can depend on: the class (via the name), the
+  // universe, f, and the full Params. The factory-derived stable set is
+  // folded directly, so patterns enter through it.
+  std::uint64_t h = digestString(0xA11CE, name());
+  h = mixDigest(h, static_cast<std::uint64_t>(n_plus_1_));
+  h = mixDigest(h, static_cast<std::uint64_t>(f_));
+  h = mixDigest(h, params_.stable_set.bits());
+  h = mixDigest(h, static_cast<std::uint64_t>(params_.stab_time));
+  h = mixDigest(h, params_.noise_seed);
+  h = mixDigest(h, params_.per_process_noise ? 1 : 2);
+  h = mixDigest(h, static_cast<std::uint64_t>(params_.noise_hold));
+  return h;
+}
+
 ProcSet UpsilonFd::defaultStableSet(const FailurePattern& fp, int f) {
   const int n_plus_1 = fp.nProcs();
   const ProcSet all = ProcSet::full(n_plus_1);

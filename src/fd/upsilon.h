@@ -38,6 +38,7 @@ class UpsilonFd final : public FailureDetector {
   [[nodiscard]] AxiomSpec axioms() const override {
     return {AxiomSpec::Family::kUpsilonF, f_};
   }
+  [[nodiscard]] std::uint64_t keyDigest() const override;
 
   [[nodiscard]] const ProcSet& stableSet() const { return params_.stable_set; }
   [[nodiscard]] int f() const { return f_; }

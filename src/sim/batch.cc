@@ -1,16 +1,26 @@
 #include "sim/batch.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <deque>
 #include <memory>
 #include <thread>
 #include <tuple>
 
 #include "fd/omega.h"
 #include "fd/upsilon.h"
+#include "sim/report_cache.h"
 
 namespace wfd::sim {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
 
 std::unique_ptr<SchedulePolicy> makePolicy(PolicyKind kind) {
   if (kind == PolicyKind::kRoundRobin) {
@@ -30,7 +40,65 @@ void harvest(CellResult& out, RunVerdict verdict, std::string detail,
   out.trace_hash = result.trace().hash64();
 }
 
+// Per-worker queue of submission indices. The owner pops the FRONT; a
+// thief takes the BACK half in one locked operation (steal-half amortizes
+// the lock and scan cost over many cells, and taking from the tail keeps
+// the owner on its cache-warm prefix). Cells are whole simulation runs —
+// milliseconds to seconds each — so a plain mutex per deque costs nothing
+// measurable against the work it guards.
+class StealDeque {
+ public:
+  // Seed with the contiguous block [begin, end) of the submission order.
+  // Called before the pool starts; no lock needed, kept locked anyway so
+  // the class has one invariant instead of a usage protocol.
+  void seed(std::size_t begin, std::size_t end) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = begin; i < end; ++i) q_.push_back(i);
+  }
+
+  std::optional<std::size_t> popFront() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (q_.empty()) return std::nullopt;
+    const std::size_t i = q_.front();
+    q_.pop_front();
+    return i;
+  }
+
+  void pushBack(const std::vector<std::size_t>& items) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    q_.insert(q_.end(), items.begin(), items.end());
+  }
+
+  // Remove and return the back half (rounded up) of the remaining cells;
+  // empty when there is nothing to steal.
+  std::vector<std::size_t> stealHalf() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (q_.empty()) return {};
+    const auto take = static_cast<std::ptrdiff_t>((q_.size() + 1) / 2);
+    std::vector<std::size_t> out(q_.end() - take, q_.end());
+    q_.erase(q_.end() - take, q_.end());
+    return out;
+  }
+
+ private:
+  std::mutex mu_;
+  std::deque<std::size_t> q_;
+};
+
 }  // namespace
+
+double BatchStats::utilization() const {
+  if (wall_s <= 0 || busy_s.empty()) return 0;
+  double sum = 0;
+  for (const double b : busy_s) sum += b;
+  return sum / (wall_s * static_cast<double>(busy_s.size()));
+}
+
+long long BatchStats::stepMakespan() const {
+  long long makespan = 0;
+  for (const long long s : steps_run) makespan = std::max(makespan, s);
+  return makespan;
+}
 
 int resolveJobs(int jobs) {
   if (jobs > 0) return jobs;
@@ -46,20 +114,33 @@ CellResult runCell(const BatchCell& cell, std::size_t index) {
       const WatchdogConfig wd = cell.watchdog.value_or(WatchdogConfig{});
       RunReport rep;
       if (cell.chaos.has_value()) {
+        // Chaos drives cfg.policy internally; an explicit policy_factory
+        // is a plain/watched feature and is ignored here.
         rep = runChaosTask(cell.cfg, *cell.chaos, wd, cell.algo,
                            cell.proposals);
       } else {
         // Watched but chaos-free: driveWatched draws from the run's own
         // policy RNG, so this replays Scheduler::run's exact schedule.
         Run run(cell.cfg, cell.algo, cell.proposals);
-        const auto policy = makePolicy(cell.cfg.policy);
+        const auto policy = cell.policy_factory ? cell.policy_factory()
+                                                : makePolicy(cell.cfg.policy);
         rep = driveWatched(run, *policy, wd, nullptr);
       }
       harvest(out, rep.verdict, rep.detail, rep.steps, rep.result);
       if (cell.post) cell.post(rep, out);
     } else {
       RunReport rep;  // plain path still hands the post-hook a RunReport
-      rep.result = runTask(cell.cfg, cell.algo, cell.proposals);
+      if (cell.policy_factory) {
+        // Mirrors runTask with the cell's own policy in place of
+        // cfg.policy — how a batch expresses eventually-synchronous or
+        // scripted schedules.
+        Run run(cell.cfg, cell.algo, cell.proposals);
+        const auto policy = cell.policy_factory();
+        const Time taken = run.scheduler().run(*policy, cell.cfg.max_steps);
+        rep.result = run.finish(taken);
+      } else {
+        rep.result = runTask(cell.cfg, cell.algo, cell.proposals);
+      }
       rep.steps = rep.result.steps;
       harvest(out, RunVerdict::kOk, "", rep.steps, rep.result);
       if (cell.post) cell.post(rep, out);
@@ -75,64 +156,159 @@ CellResult runCell(const BatchCell& cell, std::size_t index) {
   return out;
 }
 
-BatchRunner::BatchRunner(BatchOptions opts) : jobs_(resolveJobs(opts.jobs)) {}
+BatchRunner::BatchRunner(BatchOptions opts) : opts_(opts) {
+  opts_.jobs = resolveJobs(opts_.jobs);
+}
 
 std::vector<CellResult> BatchRunner::run(std::size_t count,
-                                         const CellGen& make) const {
+                                         const CellGen& make,
+                                         BatchStats* stats) const {
   std::vector<CellResult> results(count);
+  const int workers = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(opts_.jobs), count));
+  if (stats != nullptr) {
+    *stats = BatchStats{};
+    stats->jobs = opts_.jobs;
+    stats->steal = opts_.steal;
+    stats->cells = count;
+  }
   if (count == 0) return results;
-  const int workers =
-      static_cast<int>(std::min<std::size_t>(
-          static_cast<std::size_t>(jobs_), count));
+
+  std::atomic<std::size_t> steal_ops{0};
+  std::atomic<std::size_t> stolen_cells{0};
+  std::atomic<std::size_t> memo_hits{0};
+  std::atomic<std::size_t> memo_misses{0};
+
   // Each slot of `results` is written by exactly one worker and read only
-  // after the pool joins; the atomic cursor is the only cross-thread
-  // coordination the whole batch needs.
-  auto work = [&](std::size_t i) {
+  // after the pool joins; an index lives in exactly one deque at any
+  // moment, so no cell ever runs twice.
+  auto exec = [&](std::size_t i) {
     try {
-      results[i] = runCell(make(i), i);
+      const BatchCell cell = make(i);
+      if (opts_.memo != nullptr) {
+        if (const std::optional<std::uint64_t> key = cellKey(cell);
+            key.has_value()) {
+          if (std::optional<CellResult> hit = opts_.memo->lookup(*key, i);
+              hit.has_value()) {
+            memo_hits.fetch_add(1, std::memory_order_relaxed);
+            results[i] = std::move(*hit);
+            return;
+          }
+          CellResult fresh = runCell(cell, i);
+          memo_misses.fetch_add(1, std::memory_order_relaxed);
+          if (!fresh.error) opts_.memo->insert(*key, fresh);
+          results[i] = std::move(fresh);
+          return;
+        }
+      }
+      results[i] = runCell(cell, i);
     } catch (const std::exception& e) {  // generator itself threw
+      results[i] = CellResult{};
       results[i].index = i;
       results[i].error = true;
       results[i].detail = e.what();
     }
   };
+
+  const auto wall0 = Clock::now();
+  std::vector<std::size_t> executed(static_cast<std::size_t>(workers), 0);
+  std::vector<long long> steps_run(static_cast<std::size_t>(workers), 0);
+  std::vector<double> busy(static_cast<std::size_t>(workers), 0.0);
+
   if (workers <= 1) {
-    for (std::size_t i = 0; i < count; ++i) work(i);
-    return results;
-  }
-  std::atomic<std::size_t> next{0};
-  {
+    for (std::size_t i = 0; i < count; ++i) {
+      exec(i);
+      steps_run[0] += results[i].steps;
+    }
+    executed[0] = count;
+    busy[0] = secondsSince(wall0);
+  } else {
+    // Contiguous-block distribution: worker w starts with submission
+    // indices [count*w/W, count*(w+1)/W). With steal=false this IS the
+    // whole schedule (static sharding — the baseline BENCH_batch.json
+    // measures against); with steal=true it is only where cells start.
+    std::vector<StealDeque> deques(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      const auto uw = static_cast<std::size_t>(w);
+      deques[uw].seed(count * uw / static_cast<std::size_t>(workers),
+                      count * (uw + 1) / static_cast<std::size_t>(workers));
+    }
     std::vector<std::jthread> pool;
     pool.reserve(static_cast<std::size_t>(workers));
     for (int w = 0; w < workers; ++w) {
-      pool.emplace_back([&] {
-        for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-             i < count;
-             i = next.fetch_add(1, std::memory_order_relaxed)) {
-          work(i);
+      pool.emplace_back([&, w] {
+        const auto uw = static_cast<std::size_t>(w);
+        StealDeque& own = deques[uw];
+        while (true) {
+          const std::optional<std::size_t> idx = own.popFront();
+          if (!idx.has_value()) {
+            if (!opts_.steal) break;
+            // Victim scan from the right neighbour. Cells never spawn
+            // cells, so a full failed scan means this worker is done: any
+            // cell it missed (a victim completing a steal mid-scan) is in
+            // exactly one other worker's deque, and THAT worker drains
+            // its own deque before exiting.
+            bool refilled = false;
+            for (int off = 1; off < workers; ++off) {
+              const auto victim =
+                  static_cast<std::size_t>((w + off) % workers);
+              const std::vector<std::size_t> loot = deques[victim].stealHalf();
+              if (!loot.empty()) {
+                steal_ops.fetch_add(1, std::memory_order_relaxed);
+                stolen_cells.fetch_add(loot.size(),
+                                       std::memory_order_relaxed);
+                own.pushBack(loot);
+                refilled = true;
+                break;
+              }
+            }
+            if (!refilled) break;
+            continue;
+          }
+          const auto t0 = Clock::now();
+          exec(*idx);
+          busy[uw] += secondsSince(t0);
+          steps_run[uw] += results[*idx].steps;
+          ++executed[uw];
         }
       });
     }
-  }  // jthread joins here: all results are published before we return
+    pool.clear();  // join: all results are published before we return
+  }
+
+  if (stats != nullptr) {
+    stats->steal_ops = steal_ops.load(std::memory_order_relaxed);
+    stats->stolen_cells = stolen_cells.load(std::memory_order_relaxed);
+    stats->memo_hits = memo_hits.load(std::memory_order_relaxed);
+    stats->memo_misses = memo_misses.load(std::memory_order_relaxed);
+    stats->executed = std::move(executed);
+    stats->steps_run = std::move(steps_run);
+    stats->busy_s = std::move(busy);
+    stats->wall_s = secondsSince(wall0);
+  }
   return results;
 }
 
-std::vector<CellResult> BatchRunner::run(
-    const std::vector<BatchCell>& cells) const {
-  return run(cells.size(),
-             [&cells](std::size_t i) { return cells[i]; });
+std::vector<CellResult> BatchRunner::run(const std::vector<BatchCell>& cells,
+                                         BatchStats* stats) const {
+  return run(cells.size(), [&cells](std::size_t i) { return cells[i]; },
+             stats);
 }
 
 std::vector<CellResult> driveWatchedBatch(const std::vector<BatchCell>& cells,
-                                          const BatchOptions& opts) {
+                                          const BatchOptions& opts,
+                                          BatchStats* stats) {
   const BatchRunner runner(opts);
-  return runner.run(cells.size(), [&cells](std::size_t i) {
-    BatchCell cell = cells[i];
-    if (!cell.chaos.has_value() && !cell.watchdog.has_value()) {
-      cell.watchdog = WatchdogConfig{};
-    }
-    return cell;
-  });
+  return runner.run(
+      cells.size(),
+      [&cells](std::size_t i) {
+        BatchCell cell = cells[i];
+        if (!cell.chaos.has_value() && !cell.watchdog.has_value()) {
+          cell.watchdog = WatchdogConfig{};
+        }
+        return cell;
+      },
+      stats);
 }
 
 // ---- FdCache -------------------------------------------------------------

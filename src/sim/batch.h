@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -37,6 +38,7 @@
 namespace wfd::sim {
 
 struct CellResult;
+class ReportCache;  // sim/report_cache.h: whole-run memo, keyed by cellKey
 
 // Post-hook, run on the worker right after its cell completes, while the
 // full RunReport (trace, world, decisions, auditor) is still alive. Use it
@@ -57,6 +59,17 @@ struct BatchCell {
   std::optional<ChaosConfig> chaos;
   std::optional<WatchdogConfig> watchdog;
   CellPost post;  // optional checker/metric hook
+  // Optional explicit schedule policy, built on the worker that runs the
+  // cell and used instead of cfg.policy (plain and watched paths alike) —
+  // lets a batch express eventually-synchronous or scripted schedules.
+  // Must be a pure factory: each call returns a fresh policy whose RNG
+  // draws depend only on the policy's own construction arguments.
+  std::function<std::unique_ptr<SchedulePolicy>()> policy_factory;
+  // Memoization opt-in (sim/report_cache.h). The family names this cell's
+  // OPAQUE callables — algo, post, policy_factory — which a 64-bit digest
+  // cannot see: two cells may share a family only if they construct those
+  // callables identically from the digested fields. Empty = never cached.
+  std::string memo_family;
 };
 
 // Per-cell summary: everything the aggregating thread needs, without the
@@ -84,6 +97,50 @@ struct CellResult {
 struct BatchOptions {
   // Worker threads; <= 0 resolves to std::thread::hardware_concurrency.
   int jobs = 0;
+  // Work stealing (the default): every worker starts with a contiguous
+  // block of the submission order in its own deque and, once drained,
+  // steals the back HALF of a victim's remaining block. false = static
+  // sharding — each worker runs exactly its initial block, which is the
+  // baseline the heavy-tail speedup in BENCH_batch.json is measured
+  // against. Both modes produce bit-identical results (the schedule only
+  // decides WHERE a cell runs, never WHAT it computes).
+  bool steal = true;
+  // Optional whole-run memo (sim/report_cache.h), shared across workers
+  // and across batches. Only cells with a non-empty memo_family and a
+  // digestible configuration participate; audited runs always bypass.
+  ReportCache* memo = nullptr;
+};
+
+// Scheduler observability for one batch execution: how cells moved across
+// workers and what the memo did. Written by BatchRunner::run when the
+// caller passes a stats out-param; per-worker vectors are indexed by
+// worker id (size = the worker count actually spawned).
+struct BatchStats {
+  int jobs = 0;
+  bool steal = false;
+  std::size_t cells = 0;
+  std::size_t steal_ops = 0;      // successful steal-half operations
+  std::size_t stolen_cells = 0;   // cells that changed workers
+  std::size_t memo_hits = 0;      // cells answered from the ReportCache
+  std::size_t memo_misses = 0;    // memo-eligible cells that ran fresh
+  std::vector<std::size_t> executed;  // cells run per worker (hits included)
+  // Simulation steps executed per worker: a deterministic load measure
+  // (same cells -> same steps, whatever the thread timing). Its max over
+  // workers is the schedule's step MAKESPAN — the wall time the schedule
+  // would cost on >= jobs free cores — so steal-vs-static balance is
+  // measurable even on oversubscribed or single-core hosts where
+  // wall-clock can't show it. (A memo hit credits its stored step count,
+  // so compare makespans on memo-free batches.)
+  std::vector<long long> steps_run;
+  std::vector<double> busy_s;  // wall seconds each worker was active
+  double wall_s = 0;           // whole-batch wall time
+
+  // Mean worker busy fraction of the batch wall time (1.0 = no idling).
+  [[nodiscard]] double utilization() const;
+
+  // Max per-worker simulation steps (0 when untracked): the critical
+  // path of this schedule under perfect core availability.
+  [[nodiscard]] long long stepMakespan() const;
 };
 
 // <= 0 -> hardware_concurrency (>= 1).
@@ -97,11 +154,13 @@ class BatchRunner {
  public:
   explicit BatchRunner(BatchOptions opts = {});
 
-  [[nodiscard]] int jobs() const { return jobs_; }
+  [[nodiscard]] int jobs() const { return opts_.jobs; }
+  [[nodiscard]] const BatchOptions& options() const { return opts_; }
 
-  // Execute every cell; results in submission order.
-  [[nodiscard]] std::vector<CellResult> run(
-      const std::vector<BatchCell>& cells) const;
+  // Execute every cell; results in submission order. `stats`, when
+  // non-null, receives the scheduler/memo counters for this execution.
+  [[nodiscard]] std::vector<CellResult> run(const std::vector<BatchCell>& cells,
+                                            BatchStats* stats = nullptr) const;
 
   // Generator form for sweeps too large to materialize: make(i) builds
   // cell i on the worker that executes it. `make` must be thread-safe and
@@ -109,17 +168,19 @@ class BatchRunner {
   // locks internally and detectors are immutable).
   using CellGen = std::function<BatchCell(std::size_t)>;
   [[nodiscard]] std::vector<CellResult> run(std::size_t count,
-                                            const CellGen& make) const;
+                                            const CellGen& make,
+                                            BatchStats* stats = nullptr) const;
 
  private:
-  int jobs_;
+  BatchOptions opts_;
 };
 
 // Chaos soaks shard too: drive watched/chaos cells across the pool. Cells
 // that set neither `chaos` nor `watchdog` get a default WatchdogConfig so
 // every result carries a structured verdict.
 [[nodiscard]] std::vector<CellResult> driveWatchedBatch(
-    const std::vector<BatchCell>& cells, const BatchOptions& opts = {});
+    const std::vector<BatchCell>& cells, const BatchOptions& opts = {},
+    BatchStats* stats = nullptr);
 
 // ---- FD-history construction cache --------------------------------------
 //

@@ -55,8 +55,7 @@ Run::Run(const RunConfig& cfg, const AlgoFn& algo,
   }
   world_ = std::make_unique<World>(cfg.n_plus_1, std::move(fp), cfg.fd,
                                    cfg.flavor);
-  const std::optional<AuditMode> audit =
-      cfg.audit.has_value() ? cfg.audit : envAuditMode();
+  const std::optional<AuditMode> audit = resolvedAuditMode(cfg.audit);
   if (audit.has_value()) world_->enableAudit(*audit);
   sched_ = std::make_unique<Scheduler>(world_.get(), cfg.seed ^ 0x5EED);
   for (Pid p = 0; p < cfg.n_plus_1; ++p) {
@@ -90,6 +89,11 @@ RunResult Run::finish(Time steps_taken) {
   envs_.clear();
   res.world = std::move(world_);
   return res;
+}
+
+std::optional<AuditMode> resolvedAuditMode(
+    const std::optional<AuditMode>& audit) {
+  return audit.has_value() ? audit : envAuditMode();
 }
 
 RunResult runTask(const RunConfig& cfg, const AlgoFn& algo,

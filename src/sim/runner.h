@@ -74,4 +74,12 @@ class Run {
 RunResult runTask(const RunConfig& cfg, const AlgoFn& algo,
                   const std::vector<Value>& proposals);
 
+// The audit mode a run with this RunConfig::audit field would actually
+// use: the explicit setting if present, else the process-wide WFD_AUDIT
+// latch. Exposed so sim::ReportCache can bypass memoization for audited
+// runs — an audited run exists to be re-executed and checked, never to
+// be answered from a cache.
+[[nodiscard]] std::optional<AuditMode> resolvedAuditMode(
+    const std::optional<AuditMode>& audit);
+
 }  // namespace wfd::sim

@@ -20,6 +20,8 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -78,8 +80,9 @@ struct CellOutcome {
   std::uint64_t outputs_sig = 0;
 };
 
-std::uint64_t decisionsSig(const RunResult& rr, std::uint64_t h) {
-  for (const auto& [p, v] : rr.decisions) {
+std::uint64_t decisionsSig(const std::map<Pid, Value>& decisions,
+                           std::uint64_t h) {
+  for (const auto& [p, v] : decisions) {
     h = mix(h, static_cast<std::uint64_t>(p) + 1);
     h = mix(h, static_cast<std::uint64_t>(v));
   }
@@ -90,7 +93,7 @@ CellOutcome outcomeOf(const RunResult& rr, Time steps, std::uint64_t extra) {
   CellOutcome out;
   out.trace_hash = rr.trace().hash64();
   out.steps = steps;
-  out.outputs_sig = decisionsSig(rr, mix(0xCBF29CE484222325ULL, extra));
+  out.outputs_sig = decisionsSig(rr.decisions, mix(0xCBF29CE484222325ULL, extra));
   return out;
 }
 
@@ -194,6 +197,78 @@ CellOutcome runCell(const std::string& family, std::uint64_t seed) {
   return {};
 }
 
+// The same grid as BatchCells, so the work-stealing pool can replay it.
+// Recipes mirror runCell exactly; esync/scripted ride the policy_factory
+// hook (a pure factory per sim/batch.h, so any worker builds an identical
+// policy).
+sim::BatchCell batchCell(const std::string& family, std::uint64_t seed) {
+  sim::BatchCell cell;
+  cell.algo = fig1Algo();
+  if (family == "fig1") {
+    cell.cfg = fig1Config(4, seed);
+    cell.proposals = {10, 20, 30, 40};
+  } else if (family == "fig1-rr") {
+    cell.cfg = fig1Config(4, seed);
+    cell.cfg.policy = sim::PolicyKind::kRoundRobin;
+    cell.proposals = {10, 20, 30, 40};
+  } else if (family == "fig1-afek") {
+    cell.cfg.n_plus_1 = 3;
+    cell.cfg.fp = FailurePattern::failureFree(3);
+    cell.cfg.fd = fd::makeUpsilon(*cell.cfg.fp, 80, seed);
+    cell.cfg.seed = seed;
+    cell.cfg.flavor = sim::SnapshotFlavor::kAfek;
+    cell.proposals = {1, 2, 3};
+  } else if (family == "fig1-esync") {
+    cell.cfg = fig1Config(4, seed);
+    cell.proposals = {10, 20, 30, 40};
+    cell.policy_factory = [] {
+      return std::make_unique<sim::EventuallySynchronousPolicy>(
+          /*gst=*/400, /*starve_stretch=*/97);
+    };
+  } else if (family == "fig1-scripted") {
+    cell.cfg = fig1Config(4, seed);
+    cell.proposals = {10, 20, 30, 40};
+    cell.policy_factory = [] {
+      return std::make_unique<sim::ScriptedPolicy>(
+          std::vector<Pid>{0, 0, 2, 3, 1, 2, 0, 3, 3, 1},
+          std::make_unique<sim::RoundRobinPolicy>());
+    };
+  } else if (family == "fig3") {
+    const int n_plus_1 = 4;
+    cell.cfg.n_plus_1 = n_plus_1;
+    cell.cfg.fp = FailurePattern::random(n_plus_1, n_plus_1 - 1, 40, seed);
+    cell.cfg.fd = fd::makeOmega(*cell.cfg.fp, 100, seed);
+    cell.cfg.seed = seed;
+    cell.cfg.max_steps = 60'000;
+    const auto phi = phiOmegaK(n_plus_1);
+    cell.algo = [phi](Env& e, Value) { return extractUpsilonF(e, phi); };
+    cell.proposals = std::vector<Value>(static_cast<std::size_t>(n_plus_1), 0);
+  } else if (family == "chaos") {
+    const int n_plus_1 = 4;
+    cell.cfg.n_plus_1 = n_plus_1;
+    cell.cfg.fp =
+        FailurePattern::withCrashes(n_plus_1, {{n_plus_1 - 1, 50}});
+    cell.cfg.fd =
+        fd::makeUpsilon(*cell.cfg.fp, ProcSet::full(n_plus_1), 300, seed);
+    cell.cfg.seed = seed;
+    ChaosConfig chaos;
+    chaos.seed = seed;
+    chaos.max_faulty = 2;
+    chaos.crashes.push_back({CrashInjection::Strategy::kRandom,
+                             /*victim=*/-1, /*at=*/0, /*horizon=*/12,
+                             /*count=*/2, /*seed=*/seed * 7});
+    chaos.starvation.push_back({ProcSet{0}, 5, 10});
+    chaos.op_delay = OpDelay{8, 3, seed};
+    chaos.glitch = {GlitchKind::kScrambleNoise, 0, seed};
+    cell.chaos = chaos;
+    cell.watchdog = WatchdogConfig{3'000'000, 0, n_plus_1 - 1};
+    cell.proposals = distinctProposals(n_plus_1);
+  } else {
+    ADD_FAILURE() << "unknown golden family: " << family;
+  }
+  return cell;
+}
+
 TEST(GoldenHashes, GridIsComplete) {
   // One recorded cell for every family × seed the recorder emits — a
   // truncated or stale .inc fails loudly instead of silently shrinking
@@ -211,6 +286,39 @@ TEST(GoldenHashes, EveryCellReplaysBitIdentically) {
     EXPECT_EQ(got.outputs_sig, cell.outputs_sig)
         << cell.family << " seed=" << cell.seed
         << ": decisions/verdict diverged";
+  }
+}
+
+TEST(GoldenHashes, BatchReplayUnderStealingMatchesTheGrid) {
+  // The whole grid through the work-stealing pool at jobs=4: whatever
+  // worker a cell lands on (or is stolen to), its trace hash, step count,
+  // and outputs signature must equal the recorded serial values. This is
+  // the golden safety net extended over sim/batch.h's scheduler.
+  std::vector<sim::BatchCell> cells;
+  std::vector<const GoldenCell*> expect;
+  for (const GoldenCell& g : kGolden) {
+    cells.push_back(batchCell(g.family, g.seed));
+    expect.push_back(&g);
+  }
+  const auto results =
+      sim::BatchRunner(sim::BatchOptions{4, /*steal=*/true}).run(cells);
+  ASSERT_EQ(results.size(), cells.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const GoldenCell& g = *expect[i];
+    const sim::CellResult& r = results[i];
+    ASSERT_FALSE(r.error) << g.family << " seed=" << g.seed << ": "
+                          << r.detail;
+    const bool chaos = std::strcmp(g.family, "chaos") == 0;
+    const std::uint64_t extra =
+        chaos ? static_cast<std::uint64_t>(r.verdict) + 1 : 0;
+    const std::uint64_t sig =
+        decisionsSig(r.decisions, mix(0xCBF29CE484222325ULL, extra));
+    EXPECT_EQ(r.trace_hash, g.trace_hash)
+        << g.family << " seed=" << g.seed << ": batch trace hash diverged";
+    EXPECT_EQ(r.steps, g.steps)
+        << g.family << " seed=" << g.seed << ": batch step count diverged";
+    EXPECT_EQ(sig, g.outputs_sig)
+        << g.family << " seed=" << g.seed << ": batch outputs diverged";
   }
 }
 

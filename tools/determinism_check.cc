@@ -23,6 +23,10 @@
 //     BatchRunner (sim/batch.h, `--jobs N` workers, default 4) must come
 //     back in submission order with per-cell trace hashes bit-identical
 //     to the serial jobs=1 pass — sharding across threads is invisible.
+//     Both scheduler modes are held to it (--steal work stealing, the
+//     default, and --no-steal static sharding), and --memo adds a
+//     ReportCache double-pass: a warm cache hit must reproduce the
+//     serial result byte for byte, field for field.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -240,6 +244,7 @@ std::vector<sim::BatchCell> batchCells() {
     cell.cfg.seed = seed;
     cell.algo = [](Env& e, Value v) { return core::upsilonSetAgreement(e, v); };
     cell.proposals = {10, 20, 30, 40};
+    cell.memo_family = "dc-fig1";
     cells.push_back(cell);
     // Same (pattern, stab, seed) key resubmitted: a guaranteed cache hit
     // whose run must still hash identically to the first submission.
@@ -257,6 +262,7 @@ std::vector<sim::BatchCell> batchCells() {
       return core::upsilonFSetAgreement(e, 2, v);
     };
     cell.proposals = {10, 20, 30, 40, 50};
+    cell.memo_family = "dc-fig2";
     cells.push_back(std::move(cell));
   }
   const auto phi = core::phiOmegaK(4);
@@ -272,16 +278,38 @@ std::vector<sim::BatchCell> batchCells() {
     cell.proposals = std::vector<Value>(4, 0);
     // Watched flavor: driveWatched must replay Scheduler::run exactly.
     cell.watchdog = sim::WatchdogConfig{60'000, 0, 0};
+    cell.memo_family = "dc-fig3-watched";
     cells.push_back(std::move(cell));
   }
   return cells;
 }
 
-void batchWorkloads(int jobs) {
-  std::printf("Batch engine (serial vs %d workers):\n", jobs);
+// Every observable field must match: a ReportCache hit or a differently
+// scheduled worker must be indistinguishable from the serial run.
+bool sameResult(const sim::CellResult& x, const sim::CellResult& y) {
+  return x.index == y.index && x.verdict == y.verdict && x.detail == y.detail &&
+         x.error == y.error && x.all_correct_done == y.all_correct_done &&
+         x.steps == y.steps && x.distinct_decisions == y.distinct_decisions &&
+         x.decisions == y.decisions && x.trace_hash == y.trace_hash &&
+         x.check_ok == y.check_ok && x.check_detail == y.check_detail &&
+         x.metrics == y.metrics;
+}
+
+bool allSame(const std::vector<sim::CellResult>& x,
+             const std::vector<sim::CellResult>& y) {
+  if (x.size() != y.size()) return false;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (!sameResult(x[i], y[i])) return false;
+  }
+  return true;
+}
+
+void batchWorkloads(int jobs, bool steal, bool memo) {
+  std::printf("Batch engine (serial vs %d workers, %s%s):\n", jobs,
+              steal ? "stealing" : "static shards", memo ? ", memo" : "");
   const auto cells = batchCells();
   const sim::BatchRunner serial(sim::BatchOptions{1});
-  const sim::BatchRunner pool(sim::BatchOptions{jobs});
+  const sim::BatchRunner pool(sim::BatchOptions{jobs, steal});
   const auto a = serial.run(cells);
   const auto b = pool.run(cells);
   check(a.size() == cells.size() && b.size() == cells.size(),
@@ -306,15 +334,55 @@ void batchWorkloads(int jobs) {
     dup_ok = dup_ok && b[i].trace_hash == b[i + 1].trace_hash;
   }
   check(dup_ok, "cache-served detector replays hash-identical runs");
+  // The OTHER scheduler mode must be equally invisible: where a cell runs
+  // never changes what it computes.
+  const sim::BatchRunner other(sim::BatchOptions{jobs, !steal});
+  check(allSame(a, other.run(cells)),
+        std::string(!steal ? "stealing" : "static sharding") +
+            " matches the serial pass field for field");
+
+  if (memo) {
+    // Cold pass populates the ReportCache, warm pass re-submits the same
+    // batch: every result must be byte-identical to the serial pass, and
+    // every key-eligible cell must be answered from the cache the second
+    // time. (Under WFD_AUDIT the eligible count is zero by design: an
+    // audited run always re-executes.)
+    std::size_t cacheable = 0;
+    for (const auto& cell : cells) {
+      if (sim::cellKey(cell).has_value()) ++cacheable;
+    }
+    sim::ReportCache cache;
+    const sim::BatchRunner memo_pool(sim::BatchOptions{jobs, steal, &cache});
+    sim::BatchStats cold_stats;
+    sim::BatchStats warm_stats;
+    const auto cold = memo_pool.run(cells, &cold_stats);
+    const auto warm = memo_pool.run(cells, &warm_stats);
+    check(allSame(a, cold), "memo cold pass matches serial field for field");
+    check(allSame(a, warm), "memo warm pass (cache hits) byte-identical");
+    check(warm_stats.memo_hits == cacheable,
+          "warm pass answered every eligible cell from the memo (" +
+              std::to_string(warm_stats.memo_hits) + "/" +
+              std::to_string(cacheable) + ")");
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   int jobs = 4;
+  bool steal = true;
+  bool memo = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       jobs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--steal") == 0) {
+      steal = true;
+    } else if (std::strcmp(argv[i], "--no-steal") == 0) {
+      steal = false;
+    } else if (std::strcmp(argv[i], "--memo") == 0) {
+      memo = true;
+    } else if (std::strcmp(argv[i], "--no-memo") == 0) {
+      memo = false;
     }
   }
   std::puts("=== determinism check: every workload runs twice per seed ===");
@@ -325,7 +393,7 @@ int main(int argc, char** argv) {
   bgWorkloads();
   seedSensitivity();
   resultSensitivity();
-  batchWorkloads(jobs < 1 ? 1 : jobs);
+  batchWorkloads(jobs < 1 ? 1 : jobs, steal, memo);
   if (g_failures > 0) {
     std::printf("\ndeterminism check FAILED: %d divergence(s)\n", g_failures);
     return 1;
