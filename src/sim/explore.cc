@@ -1,0 +1,372 @@
+#include "sim/explore.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <set>
+
+namespace wfd::sim {
+
+namespace {
+
+// FNV-1a over a label string: stable, cheap, no libstdc++ hash involved.
+std::uint64_t labelHash(const std::string& s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001B3ULL;
+  }
+  return h;
+}
+
+// A sleep-set entry: process `pid`'s next transition as observed when it
+// was explored (or skipped) at some ancestor node. The footprint and
+// output visibility of a process's next step are functions of its local
+// state alone, and the sleep discipline only carries an entry across
+// steps INDEPENDENT of it — which leave that local state's inputs
+// untouched — so the recorded values stay exact for the entry's lifetime.
+struct SleepEnt {
+  Pid pid = -1;
+  OpFootprint fp;
+  bool visible = false;
+};
+
+bool inSleep(const std::vector<SleepEnt>& sleep, Pid p) {
+  return std::any_of(sleep.begin(), sleep.end(),
+                     [p](const SleepEnt& se) { return se.pid == p; });
+}
+
+// One executed step on the current DFS path.
+struct StepX {
+  Pid pid = -1;
+  OpFootprint fp;
+  bool visible = false;   // emitted a kDecide/kPublish event
+  int proc_seq = 0;       // 1-based index among pid's steps
+  std::vector<int> clock;       // vector clock of this step (inclusive)
+  std::vector<int> prev_clock;  // pid's clock before it (for unwinding)
+};
+
+// One branch point: the state BEFORE choosing a step at this depth.
+struct Node {
+  RunCheckpoint ckpt;
+  ProcSet enabled;
+  ProcSet to_explore;  // kDpor: dynamically grown backtrack set
+  ProcSet done;        // explored (or sleep-skipped) from here
+  std::vector<SleepEnt> sleep;
+  std::set<std::uint64_t> sub_sigs;  // outcome sigs of the subtree so far
+  std::uint64_t digest = 0;          // kDag memo key
+};
+
+// Two steps must keep their relative order iff they are dependent: either
+// fails to commute by footprint, or either is output-visible (decides and
+// published FD-output emulations are ordered events of the run, like the
+// always-dependent FD queries inside footprintsCommute).
+bool dependent(const OpFootprint& a, bool a_vis, const OpFootprint& b,
+               bool b_vis) {
+  return a_vis || b_vis || !footprintsCommute(a, b);
+}
+
+// Structural digest of the CURRENT global state: object-table contents,
+// per-process local states (step count + consumed-result stream digest +
+// done flag + published value), and the clock. Order-insensitive across
+// the schedules that reach the state — unlike the trace op digest, which
+// is a history key — so kDag can unify converging schedules.
+std::uint64_t stateDigest(Run& run, int n) {
+  std::uint64_t h = 0x243F6A8885A308D3ULL;
+  h = stateMix64(h, static_cast<std::uint64_t>(run.world().now()));
+  h = stateMix64(h, run.world().objectsConst().contentsDigest());
+  for (Pid p = 0; p < n; ++p) {
+    const ProcCtx& c = run.scheduler().ctx(p);
+    h = stateMix64(h, static_cast<std::uint64_t>(c.steps));
+    h = stateMix64(h, c.done ? 2u : 1u);
+    h = stateMix64(h, run.scheduler().resultDigest(p));
+    h = stateMix64(h, run.world().published(p).hash64());
+  }
+  return h;
+}
+
+// Collect the terminal state's observable outcome: all recorded events
+// grouped per process (program order within a process; pid order across).
+ExploreOutcome harvestOutcome(Run& run, int n) {
+  ExploreOutcome o;
+  const auto& events = run.world().trace().events();
+  std::vector<std::vector<const Event*>> per(static_cast<std::size_t>(n));
+  for (const Event& e : events) {
+    if (e.pid < 0 || e.pid >= n) continue;
+    per[static_cast<std::size_t>(e.pid)].push_back(&e);
+    if (e.kind == EventKind::kDecide) o.decisions[e.pid] = e.value.asInt();
+  }
+  std::uint64_t h = 0x452821E638D01377ULL;
+  for (int p = 0; p < n; ++p) {
+    h = stateMix64(h, static_cast<std::uint64_t>(p) + 0xABCDULL);
+    for (const Event* e : per[static_cast<std::size_t>(p)]) {
+      h = stateMix64(h, static_cast<std::uint64_t>(e->kind) + 1);
+      h = stateMix64(h, labelHash(e->label));
+      h = stateMix64(h, e->value.hash64());
+      o.events.push_back(*e);
+    }
+  }
+  o.sig = h;
+  return o;
+}
+
+}  // namespace
+
+std::string ExploreResult::counterexampleString() const {
+  std::string s;
+  for (const Pid p : counterexample) {
+    if (!s.empty()) s += ' ';
+    s += 'p';
+    s += std::to_string(p + 1);
+  }
+  return s;
+}
+
+ExploreResult explore(const ExploreConfig& cfg, const AlgoFn& algo,
+                      const std::vector<Value>& proposals) {
+  ExploreResult res;
+  const int n = cfg.run.n_plus_1;
+  const bool dpor = cfg.mode == ExploreMode::kDpor;
+
+  if (dpor) {
+    // Commutation of adjacent independent steps assumes swapping them
+    // changes neither step's behavior. A time-triggered crash breaks
+    // that: the swap moves a step across a crash time, changing which
+    // processes are enabled. kDag has no such assumption.
+    const FailurePattern fp =
+        cfg.run.fp.has_value() ? *cfg.run.fp : FailurePattern::failureFree(n);
+    for (Pid p = 0; p < n; ++p) {
+      if (fp.crashTime(p) != kNeverCrashes) {
+        throw SimAbort(
+            "explore: kDpor requires a failure-free pattern (crashes break "
+            "step commutation); use ExploreMode::kDag for this pattern");
+      }
+    }
+  }
+
+  Run run(cfg.run, algo, proposals);
+  run.enableCheckpoints();
+
+  std::vector<Node> path;
+  std::vector<StepX> steps;
+  std::vector<std::vector<int>> clocks(
+      static_cast<std::size_t>(n),
+      std::vector<int>(static_cast<std::size_t>(n), 0));
+  // kDag memo: state digest -> outcome signatures of its full subtree.
+  std::map<std::uint64_t, std::vector<std::uint64_t>> memo;
+  int live_depth = 0;  // depth the live Run state currently corresponds to
+
+  const auto harvestTerminal = [&](Node& cur) -> bool {
+    // Returns true when the caller should abort the whole search.
+    ExploreOutcome o = harvestOutcome(run, n);
+    ++res.schedules_explored;
+    cur.sub_sigs.insert(o.sig);
+    const std::uint64_t sig = o.sig;
+    auto [it, inserted] = res.outcomes.emplace(sig, std::move(o));
+    (void)inserted;
+    if (cfg.property && res.verdict == ExploreVerdict::kVerified) {
+      const std::string v = cfg.property(it->second);
+      if (!v.empty()) {
+        res.verdict = ExploreVerdict::kViolation;
+        res.violation = v;
+        res.counterexample.reserve(steps.size());
+        for (const StepX& s : steps) res.counterexample.push_back(s.pid);
+        return cfg.stop_on_violation;
+      }
+    }
+    return false;
+  };
+
+  // Initial node. A run can be terminal before its first step only in
+  // degenerate configurations (no processes).
+  {
+    Node root;
+    root.ckpt = run.checkpoint();
+    root.enabled = run.scheduler().runnable();
+    if (!dpor) {
+      root.to_explore = root.enabled;
+      if (cfg.memoize) root.digest = stateDigest(run, n);
+    } else if (!root.enabled.empty()) {
+      root.to_explore.insert(root.enabled.min());
+    }
+    if (run.scheduler().allCorrectDone() || root.enabled.empty()) {
+      harvestTerminal(root);
+      return res;
+    }
+    path.push_back(std::move(root));
+  }
+
+  while (!path.empty()) {
+    Node& cur = path.back();
+    const int d = static_cast<int>(path.size()) - 1;
+
+    // Pick the next candidate transition at this node.
+    Pid p = -1;
+    for (;;) {
+      const std::uint64_t avail = cur.to_explore.bits() & ~cur.done.bits();
+      if (avail == 0) break;
+      const Pid cand = static_cast<Pid>(std::countr_zero(avail));
+      if (dpor && inSleep(cur.sleep, cand)) {
+        // Covered by a subtree explored from an ancestor: prune.
+        cur.done.insert(cand);
+        ++res.schedules_pruned;
+        continue;
+      }
+      p = cand;
+      break;
+    }
+
+    if (p < 0) {
+      // Node exhausted: memoize (kDag), fold into the parent, pop.
+      if (!dpor && cfg.memoize) {
+        memo.emplace(cur.digest,
+                     std::vector<std::uint64_t>(cur.sub_sigs.begin(),
+                                                cur.sub_sigs.end()));
+      }
+      if (d > 0) {
+        Node& parent = path[static_cast<std::size_t>(d) - 1];
+        parent.sub_sigs.insert(cur.sub_sigs.begin(), cur.sub_sigs.end());
+        const StepX& in = steps.back();
+        if (dpor) parent.sleep.push_back(SleepEnt{in.pid, in.fp, in.visible});
+        clocks[static_cast<std::size_t>(in.pid)] = in.prev_clock;
+        steps.pop_back();
+      }
+      path.pop_back();
+      continue;
+    }
+
+    cur.done.insert(p);
+    if (live_depth != d) {
+      // Prefix sharing: rewind the single live Run to this branch point
+      // instead of replaying the whole schedule from step 0.
+      run.restore(cur.ckpt);
+      ++res.restores;
+      res.steps_replayed += static_cast<std::uint64_t>(d);
+      live_depth = d;
+    }
+
+    const std::size_t ev_before = run.world().trace().events().size();
+    run.scheduler().step(p);
+    ++res.steps_executed;
+    live_depth = d + 1;
+    res.max_depth_seen = std::max(res.max_depth_seen, d + 1);
+
+    const OpFootprint fp = run.world().lastFootprint();
+    bool visible = false;
+    {
+      const auto& events = run.world().trace().events();
+      for (std::size_t i = ev_before; i < events.size(); ++i) {
+        if (events[i].kind == EventKind::kDecide ||
+            events[i].kind == EventKind::kPublish) {
+          visible = true;
+        }
+      }
+    }
+
+    // Vector-clock happens-before pass over the executed prefix, plus
+    // Flanagan–Godefroid dynamic backtracking: for every earlier step
+    // dependent with this one but not ordered before it by the prefix's
+    // happens-before relation, the reversal is a genuine race — make the
+    // pre-state of that step schedule this process too.
+    const std::vector<int> pre_clock = clocks[static_cast<std::size_t>(p)];
+    std::vector<int> now_clock = pre_clock;
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      const StepX& si = steps[i];
+      if (si.pid == p) continue;  // program order is already in pre_clock
+      if (!dependent(si.fp, si.visible, fp, visible)) continue;
+      for (int q = 0; q < n; ++q) {
+        now_clock[static_cast<std::size_t>(q)] =
+            std::max(now_clock[static_cast<std::size_t>(q)],
+                     si.clock[static_cast<std::size_t>(q)]);
+      }
+      if (!dpor) continue;
+      if (pre_clock[static_cast<std::size_t>(si.pid)] >= si.proc_seq) {
+        continue;  // si happens-before p's transition: order is forced
+      }
+      Node& nj = path[i];
+      if (nj.enabled.contains(p)) {
+        nj.to_explore.insert(p);
+      } else {
+        // p was not enabled there: conservatively schedule everything.
+        nj.to_explore = nj.to_explore.unionWith(nj.enabled);
+      }
+    }
+    now_clock[static_cast<std::size_t>(p)] += 1;
+    {
+      StepX st;
+      st.pid = p;
+      st.fp = fp;
+      st.visible = visible;
+      st.proc_seq = now_clock[static_cast<std::size_t>(p)];
+      st.prev_clock = pre_clock;
+      st.clock = now_clock;
+      clocks[static_cast<std::size_t>(p)] = std::move(now_clock);
+      steps.push_back(std::move(st));
+    }
+
+    const bool all_done = run.scheduler().allCorrectDone();
+    const bool blocked = !all_done && run.scheduler().runnable().empty();
+    const bool too_deep = !all_done && !blocked && d + 1 >= cfg.max_depth;
+    if (all_done || blocked || too_deep) {
+      bool abort_search = false;
+      if (too_deep) {
+        res.complete = false;  // this branch was cut, not verified
+      } else {
+        abort_search = harvestTerminal(cur);
+      }
+      const StepX& in = steps.back();
+      if (dpor) cur.sleep.push_back(SleepEnt{in.pid, in.fp, in.visible});
+      clocks[static_cast<std::size_t>(in.pid)] = in.prev_clock;
+      steps.pop_back();
+      if (abort_search) return res;
+      if (res.schedules_explored >= cfg.max_schedules) {
+        res.complete = false;
+        return res;
+      }
+      continue;  // live state is past cur; next execute will restore
+    }
+
+    // Interior state: answer from the memo (kDag) or push a child node.
+    std::uint64_t digest = 0;
+    if (!dpor && cfg.memoize) {
+      digest = stateDigest(run, n);
+      const auto hit = memo.find(digest);
+      if (hit != memo.end()) {
+        ++res.memo_hits;
+        ++res.schedules_pruned;
+        cur.sub_sigs.insert(hit->second.begin(), hit->second.end());
+        const StepX& in = steps.back();
+        clocks[static_cast<std::size_t>(in.pid)] = in.prev_clock;
+        steps.pop_back();
+        continue;
+      }
+    }
+    Node child;
+    child.ckpt = run.checkpoint();
+    child.enabled = run.scheduler().runnable();
+    child.digest = digest;
+    if (dpor) {
+      const StepX& in = steps.back();
+      for (const SleepEnt& se : cur.sleep) {
+        // Wake sleepers dependent with the step just taken; the rest
+        // remain covered by the subtrees explored from the ancestors.
+        if (!dependent(se.fp, se.visible, in.fp, in.visible)) {
+          child.sleep.push_back(se);
+        }
+      }
+      for (const Pid q : child.enabled) {
+        if (!inSleep(child.sleep, q)) {
+          child.to_explore.insert(q);  // seed: one transition per node
+          break;
+        }
+      }
+    } else {
+      child.to_explore = child.enabled;
+    }
+    path.push_back(std::move(child));
+  }
+
+  if (!dpor && cfg.memoize) res.states_memoized = memo.size();
+  return res;
+}
+
+}  // namespace wfd::sim

@@ -1,0 +1,111 @@
+// Schedule-space exploration: exhaustive model checking over interleavings.
+//
+// The paper's theorems quantify over ALL schedules; seeded runs sample that
+// space. explore() walks it systematically for bounded protocols, turning
+// "no violation in N seeded runs" into "verified over every schedule". Two
+// modes share one engine:
+//
+//   kDpor  Dynamic partial-order reduction (Flanagan–Godefroid) with sleep
+//          sets: explores at least one representative per Mazurkiewicz
+//          trace-equivalence class of the commutation relation derived
+//          from op footprints (sim/ops.h). Sound for properties that are
+//          invariant within a class — which per-process outcome properties
+//          are by construction, and cross-process output orderings are
+//          because decide/publish-emitting steps are treated as visible
+//          (dependent with everything), like FD queries. Requires a
+//          failure-free pattern: a time-triggered crash makes enabledness
+//          depend on a step's clock position, which breaks commutation.
+//
+//   kDag   Complete stateful search: explores every enabled transition
+//          from every reachable state, memoizing states by a structural
+//          64-bit digest (object table contents + per-process local-state
+//          digests + published values + clock) so that schedules
+//          converging to the same state share the suffix subtree. Sound
+//          and complete for the bounded protocol (the state graph is
+//          acyclic — the clock strictly increases), including under
+//          crashes; used as the cross-check oracle for kDpor and for
+//          failure patterns kDpor refuses.
+//
+// Both modes share prefixes via Run checkpoint/restore instead of
+// replaying from step 0: a branch point stores a RunCheckpoint (COW-shared
+// RegVal payloads), and backtracking restores it in O(prefix) local replay
+// with zero shared-memory traffic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/runner.h"
+
+namespace wfd::sim {
+
+enum class ExploreMode { kDpor, kDag };
+
+enum class ExploreVerdict {
+  kVerified,   // every explored schedule satisfied the property
+  kViolation,  // some schedule violated it (see counterexample)
+};
+
+// The schedule-invariant observable of one terminal state: every recorded
+// input/output event, grouped by process in program order. Deliberately
+// order-INSENSITIVE across processes — two trace-equivalent schedules
+// yield the same outcome, so outcome sets are exactly what the explorer
+// can certify exhaustively.
+struct ExploreOutcome {
+  std::map<Pid, Value> decisions;  // last kDecide per process
+  std::vector<Event> events;       // all events, grouped by pid
+  std::uint64_t sig = 0;           // structural signature of the above
+};
+
+struct ExploreConfig {
+  // Base run configuration: n_plus_1, fp, fd, flavor, max_steps, audit.
+  // `seed` and `policy` are ignored — the explorer IS the schedule.
+  RunConfig run;
+  ExploreMode mode = ExploreMode::kDpor;
+  // kDag: memoize visited states and share suffix subtrees. kDpor ignores
+  // it (combining state-skipping with dynamic backtracking is unsound).
+  bool memoize = true;
+  // Safety valves: stop (reporting complete=false) past these budgets.
+  std::uint64_t max_schedules = 1'000'000;
+  int max_depth = 4096;
+  bool stop_on_violation = true;
+  // Safety property, evaluated at every terminal state. Return "" when
+  // satisfied, a violation description otherwise.
+  std::function<std::string(const ExploreOutcome&)> property;
+};
+
+struct ExploreResult {
+  ExploreVerdict verdict = ExploreVerdict::kVerified;
+  std::string violation;            // first violation found
+  std::vector<Pid> counterexample;  // schedule reaching it (pid per step)
+
+  std::uint64_t schedules_explored = 0;  // terminal states reached
+  std::uint64_t schedules_pruned = 0;    // sleep-set skips + memo hits
+  std::uint64_t states_memoized = 0;     // kDag: distinct interior states
+  std::uint64_t memo_hits = 0;           // kDag: subtrees answered by memo
+  std::uint64_t steps_executed = 0;      // real World::execute steps
+  std::uint64_t steps_replayed = 0;      // local-replay steps in restores
+  std::uint64_t restores = 0;            // checkpoint restores performed
+  int max_depth_seen = 0;
+  bool complete = true;  // false if a budget cut the search short
+
+  // Distinct terminal outcomes, keyed by signature. The n=2 brute-force
+  // oracle in tests/exhaustive_test.cc asserts set-equality against this.
+  std::map<std::uint64_t, ExploreOutcome> outcomes;
+
+  [[nodiscard]] bool verified() const {
+    return complete && verdict == ExploreVerdict::kVerified;
+  }
+  // "p2 p1 p1 p3 ..." — 1-based, the paper's process naming.
+  [[nodiscard]] std::string counterexampleString() const;
+};
+
+// Systematically explore every schedule of `algo` under cfg. Throws
+// SimAbort on configurations the requested mode cannot handle soundly.
+ExploreResult explore(const ExploreConfig& cfg, const AlgoFn& algo,
+                      const std::vector<Value>& proposals);
+
+}  // namespace wfd::sim

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "sim/ops.h"
+
 namespace wfd::sim {
 
 void ObjKey::append(const char* s) {
@@ -119,6 +121,20 @@ RegVal ObjectTable::propose(ObjId id, Pid proposer, RegVal v) {
   }
   if (obj.reg.isBottom()) obj.reg = std::move(v);  // first proposal wins
   return obj.reg;
+}
+
+std::uint64_t ObjectTable::contentsDigest() const {
+  const auto mix = stateMix64;
+  std::uint64_t h = 0x6A09E667F3BCC909ULL;
+  for (const Object& obj : objects_) {
+    h = mix(h, static_cast<std::uint64_t>(obj.kind) + 1);
+    h = mix(h, obj.reg.hash64());
+    h = mix(h, obj.slots.size());
+    for (const RegVal& v : obj.slots) h = mix(h, v.hash64());
+    h = mix(h, obj.proposers.bits());
+    h = mix(h, static_cast<std::uint64_t>(obj.ports));
+  }
+  return h;
 }
 
 ObjectTable::Kind ObjectTable::kindOf(ObjId id) const {

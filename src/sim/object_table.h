@@ -92,6 +92,48 @@ class ObjectTable {
 
   [[nodiscard]] std::size_t objectCount() const { return objects_.size(); }
 
+ private:
+  struct Object {
+    Kind kind = Kind::kRegister;
+    RegVal reg;                    // register value / consensus winner
+    std::vector<RegVal> slots;     // snapshot cells
+    ProcSet proposers;             // consensus: who proposed so far
+    int ports = 0;                 // consensus: max distinct proposers
+  };
+
+ public:
+  // ---- Checkpoint/restore (sim/explore.h prefix sharing) ----
+  // A Snapshot deep-copies the key map and object vector; the RegVal
+  // payloads inside (tuple cells) are immutable shared arrays, so the copy
+  // shares them — O(1) per stored value. The access observer is part of
+  // the *run's* wiring, not the memory state, and survives a restore.
+  class Snapshot {
+   public:
+    Snapshot() = default;
+
+   private:
+    friend class ObjectTable;
+    std::map<ObjKey, ObjId> ids;
+    std::vector<Object> objects;
+  };
+  [[nodiscard]] Snapshot snapshot() const {
+    Snapshot s;
+    s.ids = ids_;
+    s.objects = objects_;
+    return s;
+  }
+  void restore(const Snapshot& s) {
+    ids_ = s.ids;
+    objects_ = s.objects;
+  }
+
+  // Stable structural digest of the table's entire contents, in creation
+  // (ObjId) order. Free and unobserved — the explorer's state-memoization
+  // key must not count as shared-memory traffic. Unlike the trace op
+  // digest this depends only on the STATE, not on the op order that
+  // produced it, so schedules converging to the same memory agree on it.
+  [[nodiscard]] std::uint64_t contentsDigest() const;
+
   // ---- Metadata for auditors (free, never observed) ----
   [[nodiscard]] bool knows(ObjId id) const {
     return id >= 0 && static_cast<std::size_t>(id) < objects_.size();
@@ -103,13 +145,6 @@ class ObjectTable {
   [[nodiscard]] bool hasProposed(ObjId id, Pid p) const;
 
  private:
-  struct Object {
-    Kind kind = Kind::kRegister;
-    RegVal reg;                    // register value / consensus winner
-    std::vector<RegVal> slots;     // snapshot cells
-    ProcSet proposers;             // consensus: who proposed so far
-    int ports = 0;                 // consensus: max distinct proposers
-  };
   void observe(ObjId id, ObjectAccess access) const {
     if (observer_ != nullptr) observer_->onObjectAccess(id, access);
   }

@@ -6,6 +6,7 @@
 // reductions that must "take a step" without touching memory).
 #pragma once
 
+#include <cstdint>
 #include <variant>
 #include <vector>
 
@@ -53,5 +54,125 @@ struct OpResult {
   RegVal scalar;                  // read result / FD output
   std::vector<RegVal> snapshot;   // scan result
 };
+
+// ---- Step footprints (sim/explore.h) --------------------------------------
+//
+// A footprint is the commutativity-relevant abstraction of one executed
+// operation: which object it touched and how. The schedule explorer derives
+// its independence relation from footprints; World records the footprint of
+// every executed op so the explorer never re-parses the Op variant.
+
+enum class OpClass : std::uint8_t {
+  kNone,     // OpNoop: a pure local step, commutes with everything
+  kRead,     // register read
+  kWrite,    // register write
+  kScan,     // snapshot scan
+  kUpdate,   // snapshot update (slot-disjoint updates commute)
+  kPropose,  // consensus proposal (first wins: never commutes on one object)
+  kFdQuery,  // FD answers are functions of global time: commutes with nothing
+};
+
+struct OpFootprint {
+  OpClass cls = OpClass::kNone;
+  ObjId obj = -1;
+  int slot = -1;  // OpSnapUpdate only
+};
+
+[[nodiscard]] inline OpFootprint footprintOf(const Op& op) {
+  if (const auto* r = std::get_if<OpRead>(&op)) {
+    return {OpClass::kRead, r->obj, -1};
+  }
+  if (const auto* w = std::get_if<OpWrite>(&op)) {
+    return {OpClass::kWrite, w->obj, -1};
+  }
+  if (const auto* u = std::get_if<OpSnapUpdate>(&op)) {
+    return {OpClass::kUpdate, u->obj, u->slot};
+  }
+  if (const auto* s = std::get_if<OpSnapScan>(&op)) {
+    return {OpClass::kScan, s->obj, -1};
+  }
+  if (std::holds_alternative<OpFdQuery>(op)) {
+    return {OpClass::kFdQuery, -1, -1};
+  }
+  if (const auto* c = std::get_if<OpConsPropose>(&op)) {
+    return {OpClass::kPropose, c->obj, -1};
+  }
+  return {OpClass::kNone, -1, -1};  // OpNoop
+}
+
+// The independence relation (DESIGN.md / docs/EXPLORE.md): two steps commute
+// iff swapping adjacent occurrences cannot change either step's result or
+// the resulting memory state. Conservative on purpose — anything not proven
+// independent is treated as dependent.
+[[nodiscard]] inline bool footprintsCommute(const OpFootprint& a,
+                                            const OpFootprint& b) {
+  // FD answers depend on the global clock position of the querying step,
+  // and every step advances the clock: never reorder across an FD query.
+  if (a.cls == OpClass::kFdQuery || b.cls == OpClass::kFdQuery) return false;
+  if (a.cls == OpClass::kNone || b.cls == OpClass::kNone) return true;
+  if (a.obj != b.obj) return true;  // disjoint objects always commute
+  if (a.cls == OpClass::kRead && b.cls == OpClass::kRead) return true;
+  if (a.cls == OpClass::kScan && b.cls == OpClass::kScan) return true;
+  if (a.cls == OpClass::kUpdate && b.cls == OpClass::kUpdate) {
+    return a.slot != b.slot;  // single-writer slots: disjoint cells commute
+  }
+  return false;
+}
+
+// One round of splitmix64-style mixing for STATE digests (explorer
+// memoization keys, per-process result-stream digests, object-table
+// contents). Same shape as the trace's history mix but deliberately a
+// separate definition: state digests are order-insensitive keys, the trace
+// digest is a history key, and neither may silently inherit changes to the
+// other.
+[[nodiscard]] inline std::uint64_t stateMix64(std::uint64_t h,
+                                              std::uint64_t x) {
+  h ^= x + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  return h;
+}
+
+// ---- Stable signatures ----------------------------------------------------
+//
+// Cheap stable signature of one executed operation, folded into the trace's
+// op digest (Trace::mixOp) and into the explorer's state digests. Covers the
+// op kind, target object, slot, and argument value — enough that any
+// divergence in the executed op stream (a different schedule, a
+// nondeterministic argument) changes the run's trace hash.
+[[nodiscard]] inline std::uint64_t opSignature(const Op& op) {
+  std::uint64_t h = 0x100000001B3ULL * (op.index() + 1);
+  if (const auto* w = std::get_if<OpWrite>(&op)) {
+    h ^= static_cast<std::uint64_t>(w->obj) * 0x9E3779B97F4A7C15ULL;
+    h ^= w->val.hash64();
+  } else if (const auto* r = std::get_if<OpRead>(&op)) {
+    h ^= static_cast<std::uint64_t>(r->obj) * 0x9E3779B97F4A7C15ULL;
+  } else if (const auto* u = std::get_if<OpSnapUpdate>(&op)) {
+    h ^= static_cast<std::uint64_t>(u->obj) * 0x9E3779B97F4A7C15ULL;
+    h ^= static_cast<std::uint64_t>(u->slot) << 32;
+    h ^= u->val.hash64();
+  } else if (const auto* s = std::get_if<OpSnapScan>(&op)) {
+    h ^= static_cast<std::uint64_t>(s->obj) * 0x9E3779B97F4A7C15ULL;
+  } else if (const auto* c = std::get_if<OpConsPropose>(&op)) {
+    h ^= static_cast<std::uint64_t>(c->obj) * 0x9E3779B97F4A7C15ULL;
+    h ^= c->val.hash64();
+  }
+  return h;
+}
+
+// Stable signature of an operation's RESULT, folded into the op digest
+// alongside the op signature (and into the explorer's per-process local
+// state digests). Covers read values, scan views, consensus winners and FD
+// answers, so a nondeterministic object implementation — or an
+// injected-delay bug — is caught even when the executed op stream is
+// identical.
+[[nodiscard]] inline std::uint64_t resultSignature(const OpResult& res) {
+  std::uint64_t h = 0x27D4EB2F165667C5ULL;
+  h ^= res.scalar.hash64();
+  for (const RegVal& v : res.snapshot) {
+    h = (h ^ v.hash64()) * 0x100000001B3ULL;
+  }
+  return h;
+}
 
 }  // namespace wfd::sim

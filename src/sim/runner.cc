@@ -38,7 +38,8 @@ int RunResult::distinctDecisions() const {
 }
 
 Run::Run(const RunConfig& cfg, const AlgoFn& algo,
-         const std::vector<Value>& proposals) {
+         const std::vector<Value>& proposals)
+    : algo_(algo), proposals_(proposals) {
   // Structured errors rather than assert/abort: a chaos-perturbed or
   // mis-assembled configuration must terminate diagnosably (watchdog.h).
   if (static_cast<int>(proposals.size()) != cfg.n_plus_1) {
@@ -62,6 +63,27 @@ Run::Run(const RunConfig& cfg, const AlgoFn& algo,
     envs_.emplace_back(world_.get(), p);
     sched_->add(p, algo(envs_.back(), proposals[static_cast<std::size_t>(p)]));
   }
+}
+
+void Run::restore(const RunCheckpoint& ck) {
+  // Order matters. (1) World first: the replayed coroutines re-run their
+  // zero-cost naming calls, which must resolve against the checkpointed
+  // object table (ObjIds are assigned in first-reference order, which can
+  // differ between branches). (2) Trace muted around the local replay:
+  // replayed free actions (propose/decide/note/publish) re-fire with the
+  // restored clock, not their original timestamps. Re-published values are
+  // harmless — a process's published variable is single-writer, so the
+  // replay's last write equals the checkpointed value.
+  world_->restore(ck.world);
+  world_->trace().setMuted(true);
+  struct UnmuteGuard {
+    Trace* t;
+    ~UnmuteGuard() { t->setMuted(false); }
+  } guard{&world_->trace()};
+  sched_->restore(ck.sched, [this](Pid p) {
+    return algo_(envs_[static_cast<std::size_t>(p)],
+                 proposals_[static_cast<std::size_t>(p)]);
+  });
 }
 
 RunResult Run::finish(Time steps_taken) {

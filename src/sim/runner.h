@@ -52,6 +52,15 @@ struct RunResult {
   [[nodiscard]] int distinctDecisions() const;
 };
 
+// A resumable point of one run: world snapshot + per-process result
+// streams. Self-contained — restoring onto any Run with the SAME
+// configuration (algorithm, proposals, pattern, FD, seed) is valid, which
+// is what lets the explorer share prefixes across branches.
+struct RunCheckpoint {
+  World::Snapshot world;
+  Scheduler::Checkpoint sched;
+};
+
 // Owns everything a run needs; useful directly when a test wants to drive
 // the schedule step-by-step instead of via RunConfig's policy.
 class Run {
@@ -62,12 +71,29 @@ class Run {
   World& world() { return *world_; }
   Scheduler& scheduler() { return *sched_; }
 
+  // ---- Checkpoint/restore (sim/explore.h prefix sharing) ----
+  // Opt-in because checkpoints need the scheduler's result log from step
+  // one. Call right after construction, before any step.
+  void enableCheckpoints() { sched_->enableResultLog(); }
+  [[nodiscard]] RunCheckpoint checkpoint() const {
+    return RunCheckpoint{world_->snapshot(), sched_->checkpoint()};
+  }
+  // Rewind (or fast-forward) this run to `ck`. Restores the world first,
+  // then rebuilds every process coroutine by local replay of its recorded
+  // result stream with trace recording muted (replayed free actions would
+  // otherwise re-record with wrong timestamps). After restore the run
+  // continues exactly as a straight-line execution would have
+  // (tests/golden_hash_test.cc holds it to bit-identical trace hashes).
+  void restore(const RunCheckpoint& ck);
+
   RunResult finish(Time steps_taken);
 
  private:
   std::unique_ptr<World> world_;
   std::deque<Env> envs_;
   std::unique_ptr<Scheduler> sched_;
+  AlgoFn algo_;                    // kept for checkpoint restore
+  std::vector<Value> proposals_;   // ditto
 };
 
 // Run `algo` at every process with the given proposals under cfg.policy.

@@ -194,6 +194,12 @@ void Scheduler::step(Pid p) {
   }
   if (slot.ctx.pending.has_value()) {
     slot.ctx.result = world_->execute(p, *slot.ctx.pending);
+    if (log_results_) {
+      // Copy before the resume below moves the result into the awaiter.
+      result_log_[static_cast<std::size_t>(p)].push_back(slot.ctx.result);
+      auto& digest = result_digest_[static_cast<std::size_t>(p)];
+      digest = stateMix64(digest, resultSignature(slot.ctx.result));
+    }
     slot.ctx.pending.reset();
     runUntilBlockedOrDone();
   }
@@ -211,6 +217,103 @@ void Scheduler::step(Pid p) {
     if (world_->pattern().isCorrect(p)) --correct_undone_;
     slot.coro.rethrowIfFailed();
   }
+}
+
+// ---- Checkpoint/restore ---------------------------------------------------
+
+void Scheduler::enableResultLog() {
+  if (log_results_) return;
+  if (world_->now() != 0) {
+    throw SimAbort(
+        "Scheduler::enableResultLog must be called before the first step: "
+        "a checkpoint needs the complete per-process result streams");
+  }
+  log_results_ = true;
+  result_log_.assign(slots_.size(), {});
+  result_digest_.assign(slots_.size(), 0);
+}
+
+Scheduler::Checkpoint Scheduler::checkpoint() const {
+  if (!log_results_) {
+    throw SimAbort(
+        "Scheduler::checkpoint requires enableResultLog() from step one");
+  }
+  Checkpoint ck;
+  ck.rng = rng_;
+  ck.procs.resize(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i]) continue;
+    const Slot& slot = *slots_[i];
+    ProcCheckpoint& pc = ck.procs[i];
+    pc.started = slot.started;
+    pc.done = slot.ctx.done;
+    pc.crashed = slot.ctx.crashed;
+    pc.steps = slot.ctx.steps;
+    pc.results = result_log_[i];
+    pc.result_digest = result_digest_[i];
+  }
+  return ck;
+}
+
+void Scheduler::restoreSlot(Pid p, Coro<Unit> coro, const ProcCheckpoint& pc) {
+  auto slot = std::make_unique<Slot>();
+  slot->ctx.pid = p;
+  slot->coro = std::move(coro);
+  if (pc.started) {
+    slot->started = true;
+    // Local replay: drive the fresh frame with the recorded result stream
+    // until it has consumed every checkpointed result and parked at its
+    // next operation request (or returned). Mirrors step()'s flat resume
+    // loop, minus the world: results come from the log, not execute().
+    struct CurrentProcGuard {
+      ~CurrentProcGuard() { currentProc() = nullptr; }
+    } guard;
+    currentProc() = &slot->ctx;
+    slot->ctx.resume_point = slot->coro.handle();
+    std::size_t fed = 0;
+    for (;;) {
+      while (!slot->ctx.pending.has_value() && slot->ctx.resume_point) {
+        const std::coroutine_handle<> h = slot->ctx.resume_point;
+        h.resume();
+      }
+      if (!slot->ctx.pending.has_value()) break;  // automaton returned
+      if (fed == pc.results.size()) break;        // parked at the next op
+      slot->ctx.result = pc.results[fed++];
+      slot->ctx.pending.reset();
+    }
+    if (fed != pc.results.size() || slot->coro.done() != pc.done) {
+      // A deterministic automaton replays exactly; divergence means local
+      // nondeterminism (unseeded randomness, address-dependent branching).
+      throw SimAbort("checkpoint restore: p" + std::to_string(p + 1) +
+                     " diverged during local replay — process automata "
+                     "must be deterministic functions of their inputs");
+    }
+  }
+  slot->ctx.steps = pc.steps;
+  slot->ctx.done = pc.done;
+  slot->ctx.crashed = pc.crashed;
+  slots_[static_cast<std::size_t>(p)] = std::move(slot);
+}
+
+void Scheduler::restore(const Checkpoint& ck,
+                        const std::function<Coro<Unit>(Pid)>& make_coro) {
+  if (!log_results_) {
+    throw SimAbort("Scheduler::restore requires enableResultLog()");
+  }
+  assert(ck.procs.size() == slots_.size() &&
+         "checkpoint from a differently-shaped run");
+  undone_ = ProcSet{};
+  for (std::size_t i = 0; i < ck.procs.size(); ++i) {
+    const Pid p = static_cast<Pid>(i);
+    restoreSlot(p, make_coro(p), ck.procs[i]);
+    if (!ck.procs[i].done) undone_.insert(p);
+    result_log_[i] = ck.procs[i].results;
+    result_digest_[i] = ck.procs[i].result_digest;
+  }
+  rng_ = ck.rng;
+  // Contract: the caller restored the world first, so the rebuild sees
+  // the checkpointed clock and failure pattern.
+  rebuildLiveness();
 }
 
 Time Scheduler::run(SchedulePolicy& policy, Time max_steps) {

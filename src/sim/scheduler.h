@@ -9,6 +9,7 @@
 // exactly the power the paper's adversary has.
 #pragma once
 
+#include <cassert>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -119,6 +120,51 @@ class Scheduler {
   // elapsed. Returns steps taken.
   Time run(SchedulePolicy& policy, Time max_steps);
 
+  // ---- Checkpoint/restore (sim/explore.h prefix sharing) ----
+  //
+  // Coroutine frames cannot be copied, so a checkpoint stores, per
+  // process, the stream of operation RESULTS it has consumed. restore()
+  // rebuilds each frame by re-running the (deterministic) automaton
+  // against that stream — a purely local replay that never touches the
+  // world: no World::execute, no clock advance, no trace traffic.
+
+  // Capture per-process result streams from here on. Must be called
+  // before the first step; costs one OpResult copy per step when on.
+  void enableResultLog();
+  [[nodiscard]] bool resultLogEnabled() const { return log_results_; }
+
+  // Stable digest of the results process p has consumed so far, in
+  // program order. A component of the explorer's state-memoization key:
+  // together with ctx(p).steps it pins down p's local automaton state.
+  [[nodiscard]] std::uint64_t resultDigest(Pid p) const {
+    assert(p >= 0 && static_cast<std::size_t>(p) < result_digest_.size());
+    return result_digest_[static_cast<std::size_t>(p)];
+  }
+
+  struct ProcCheckpoint {
+    bool started = false;
+    bool done = false;
+    bool crashed = false;
+    Time steps = 0;
+    std::vector<OpResult> results;  // consumed results, program order
+    std::uint64_t result_digest = 0;
+  };
+  struct Checkpoint {
+    Rng rng{0};
+    std::vector<ProcCheckpoint> procs;
+  };
+
+  // Requires enableResultLog() to have been active since step one.
+  [[nodiscard]] Checkpoint checkpoint() const;
+
+  // Rebuild every process slot from `ck`; `make_coro` supplies a fresh
+  // coroutine per pid (Run binds its algorithm + proposal). CONTRACT: the
+  // caller restores the World to the matching snapshot BEFORE calling
+  // this (replayed naming must resolve against the checkpointed object
+  // table) and mutes the trace around it (replayed free actions re-fire).
+  void restore(const Checkpoint& ck,
+               const std::function<Coro<Unit>(Pid)>& make_coro);
+
   [[nodiscard]] const ProcCtx& ctx(Pid p) const {
     // Cold inspection path (checkers, tests); bounds-checked on purpose.
     return slots_.at(static_cast<std::size_t>(p))->ctx;  // model-lint-allow: cold inspection accessor
@@ -149,10 +195,18 @@ class Scheduler {
   [[nodiscard]] ProcSet runnableScan() const;
   [[nodiscard]] int correctUndoneScan() const;
 
+  // Rebuild one slot from its checkpoint via local replay (see restore).
+  void restoreSlot(Pid p, Coro<Unit> coro, const ProcCheckpoint& pc);
+
   World* world_;
   Rng rng_;
   std::vector<std::unique_ptr<Slot>> slots_;
   ProcSet undone_;  // registered processes whose coroutine has not returned
+
+  // Checkpoint support: per-process consumed-result streams + digests.
+  bool log_results_ = false;
+  std::vector<std::vector<OpResult>> result_log_;
+  std::vector<std::uint64_t> result_digest_;
 
   // Cached liveness, maintained by add()/step() and the lazy syncs above.
   // Mutable because runnable()/allCorrectDone() are conceptually const:

@@ -43,7 +43,39 @@ struct Event {
 class Trace {
  public:
   void record(Time t, Pid p, EventKind k, std::string label, RegVal v) {
+    if (muted_) return;
     events_.push_back(Event{t, p, k, std::move(label), std::move(v)});
+  }
+
+  // Checkpoint-restore support (sim/explore.h). While a restored process
+  // coroutine is fast-forwarded by replaying its recorded results, its
+  // free actions (propose/decide/note/publish) re-fire with meaningless
+  // timestamps; the runner mutes recording for the duration. Nothing else
+  // may mute a trace — a muted live run would break the determinism
+  // contract.
+  void setMuted(bool m) { muted_ = m; }
+
+  class Snapshot {
+   public:
+    Snapshot() = default;
+
+   private:
+    friend class Trace;
+    std::vector<Event> events;
+    std::uint64_t op_digest = 0;
+    std::uint64_t ops_mixed = 0;
+  };
+  [[nodiscard]] Snapshot snapshot() const {
+    Snapshot s;
+    s.events = events_;
+    s.op_digest = op_digest_;
+    s.ops_mixed = ops_mixed_;
+    return s;
+  }
+  void restore(const Snapshot& s) {
+    events_ = s.events;
+    op_digest_ = s.op_digest;
+    ops_mixed_ = s.ops_mixed;
   }
 
   [[nodiscard]] const std::vector<Event>& events() const { return events_; }
@@ -92,6 +124,7 @@ class Trace {
   std::vector<Event> events_;
   std::uint64_t op_digest_ = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
   std::uint64_t ops_mixed_ = 0;
+  bool muted_ = false;
 };
 
 }  // namespace wfd::sim

@@ -4,53 +4,11 @@
 
 namespace wfd::sim {
 
-namespace {
-
-// Cheap stable signature of one executed operation, folded into the
-// trace's op digest (see Trace::mixOp). Covers the op kind, target
-// object, slot, and argument value — enough that any divergence in the
-// executed op stream (a different schedule, a nondeterministic argument)
-// changes the run's trace hash.
-std::uint64_t opSignature(const Op& op) {
-  std::uint64_t h = 0x100000001B3ULL * (op.index() + 1);
-  if (const auto* w = std::get_if<OpWrite>(&op)) {
-    h ^= static_cast<std::uint64_t>(w->obj) * 0x9E3779B97F4A7C15ULL;
-    h ^= w->val.hash64();
-  } else if (const auto* r = std::get_if<OpRead>(&op)) {
-    h ^= static_cast<std::uint64_t>(r->obj) * 0x9E3779B97F4A7C15ULL;
-  } else if (const auto* u = std::get_if<OpSnapUpdate>(&op)) {
-    h ^= static_cast<std::uint64_t>(u->obj) * 0x9E3779B97F4A7C15ULL;
-    h ^= static_cast<std::uint64_t>(u->slot) << 32;
-    h ^= u->val.hash64();
-  } else if (const auto* s = std::get_if<OpSnapScan>(&op)) {
-    h ^= static_cast<std::uint64_t>(s->obj) * 0x9E3779B97F4A7C15ULL;
-  } else if (const auto* c = std::get_if<OpConsPropose>(&op)) {
-    h ^= static_cast<std::uint64_t>(c->obj) * 0x9E3779B97F4A7C15ULL;
-    h ^= c->val.hash64();
-  }
-  return h;
-}
-
-// Stable signature of an operation's RESULT, folded into the op digest
-// alongside the op signature. Covers read values, scan views, consensus
-// winners and FD answers, so a nondeterministic object implementation —
-// or an injected-delay bug — is caught even when the executed op stream
-// is identical (ROADMAP open item; see tools/determinism_check).
-std::uint64_t resultSignature(const OpResult& res) {
-  std::uint64_t h = 0x27D4EB2F165667C5ULL;
-  h ^= res.scalar.hash64();
-  for (const RegVal& v : res.snapshot) {
-    h = (h ^ v.hash64()) * 0x100000001B3ULL;
-  }
-  return h;
-}
-
-}  // namespace
-
 OpResult World::execute(Pid p, const Op& op) {
   // Audit before dispatch: kThrow mode must report kind/port violations
   // before the object table's own asserts would halt the process.
   if (audit_) audit_->onExecuteBegin(p, op);
+  last_footprint_ = footprintOf(op);
   trace_.mixOp(now_, p, opSignature(op));
   OpResult res;
   if (const auto* r = std::get_if<OpRead>(&op)) {
@@ -94,6 +52,31 @@ void World::injectCrash(Pid p) {
 void World::enableAudit(AuditMode mode) {
   audit_ = std::make_unique<StepAuditor>(this, mode);
   objects_.setObserver(audit_.get());
+}
+
+World::Snapshot World::snapshot() const {
+  Snapshot s;
+  s.now = now_;
+  s.fp_version = fp_version_;
+  s.fp = fp_;
+  s.published = published_;
+  s.objects = objects_.snapshot();
+  s.trace = trace_.snapshot();
+  return s;
+}
+
+void World::restore(const Snapshot& s) {
+  now_ = s.now;
+  fp_version_ = s.fp_version;
+  fp_ = *s.fp;
+  published_ = s.published;
+  objects_.restore(s.objects);
+  trace_.restore(s.trace);
+  // An attached auditor accumulates per-run state (last FD answers,
+  // step/execute pairing) that is meaningless after time moves backwards;
+  // re-attach a fresh one of the same mode. Audits never alter behavior,
+  // so restored and never-checkpointed runs stay trace-identical.
+  if (audit_) enableAudit(audit_->mode());
 }
 
 void World::setPublished(Pid p, RegVal v) {

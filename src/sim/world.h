@@ -8,8 +8,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "fd/failure_detector.h"
 #include "sim/failure_pattern.h"
@@ -74,6 +76,37 @@ class World {
   // Execute one atomic step's operation on behalf of process p.
   OpResult execute(Pid p, const Op& op);
 
+  // Footprint of the most recently executed operation (sim/explore.h).
+  // Maintained unconditionally — one trivially-copyable store per step.
+  [[nodiscard]] const OpFootprint& lastFootprint() const {
+    return last_footprint_;
+  }
+
+  // ---- Checkpoint/restore (sim/explore.h prefix sharing) ----
+  // A Snapshot captures every mutable field of the world: clock, failure
+  // pattern (chaos may have mutated it), object table, trace, published
+  // FD-output emulations. RegVal tuple payloads are immutable shared
+  // arrays, so copying the table/trace shares them (copy-on-write by
+  // construction). The FD itself is NOT captured: histories are stateless
+  // functions of (seed, p, t), per common/rng.h.
+  class Snapshot {
+   public:
+    Snapshot() = default;
+
+   private:
+    friend class World;
+    Time now = 0;
+    std::uint64_t fp_version = 0;
+    std::optional<FailurePattern> fp;
+    std::vector<RegVal> published;
+    ObjectTable::Snapshot objects;
+    Trace::Snapshot trace;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  // Restoring does not touch the attached auditor's mode, but replaces the
+  // auditor instance: stale per-run audit state must not outlive a rewind.
+  void restore(const Snapshot& s);
+
   // ---- Model-conformance auditing (sim/step_audit.h) ----
   // Opt-in: attaches a StepAuditor that observes every step, executed
   // operation, and object-table access of this world. The auditor never
@@ -105,6 +138,7 @@ class World {
   SnapshotFlavor flavor_;
   Time now_ = 0;
   std::uint64_t fp_version_ = 0;
+  OpFootprint last_footprint_;
   ObjectTable objects_;
   Trace trace_;
   std::unique_ptr<StepAuditor> audit_;

@@ -1,0 +1,364 @@
+// Schedule-space explorer (sim/explore.h): DPOR + stateful-DAG modes.
+//
+// The ground truth is the brute-force multiset-permutation enumerator that
+// tests/exhaustive_test.cc has always used: at n = 2 the explorer's
+// outcome set must equal the brute-force outcome set EXACTLY, in both
+// modes. On top of that: the DPOR reduction factor at n = 3, the seeded
+// safety bug the explorer must catch (with a replayable counterexample),
+// the budget valves, and the footprint commutation table itself.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "test_util.h"
+
+namespace wfd {
+namespace {
+
+using core::kConverge;
+using core::Pick;
+using sim::Coro;
+using sim::Env;
+using sim::ExploreConfig;
+using sim::ExploreMode;
+using sim::ExploreOutcome;
+using sim::ExploreResult;
+using sim::ExploreVerdict;
+using sim::OpClass;
+using sim::OpFootprint;
+using sim::RunConfig;
+using sim::Unit;
+using sim::footprintsCommute;
+
+// ---- Footprint commutation table -----------------------------------------
+
+OpFootprint fp(OpClass cls, ObjId obj = -1, int slot = -1) {
+  return OpFootprint{cls, obj, slot};
+}
+
+TEST(Footprints, DisjointObjectsCommute) {
+  EXPECT_TRUE(footprintsCommute(fp(OpClass::kWrite, 1), fp(OpClass::kWrite, 2)));
+  EXPECT_TRUE(footprintsCommute(fp(OpClass::kRead, 1), fp(OpClass::kScan, 2)));
+  EXPECT_TRUE(
+      footprintsCommute(fp(OpClass::kUpdate, 1, 0), fp(OpClass::kScan, 2)));
+}
+
+TEST(Footprints, SameObjectReadsCommute) {
+  EXPECT_TRUE(footprintsCommute(fp(OpClass::kRead, 1), fp(OpClass::kRead, 1)));
+  EXPECT_TRUE(footprintsCommute(fp(OpClass::kScan, 1), fp(OpClass::kScan, 1)));
+}
+
+TEST(Footprints, SameObjectWritesConflict) {
+  EXPECT_FALSE(footprintsCommute(fp(OpClass::kRead, 1), fp(OpClass::kWrite, 1)));
+  EXPECT_FALSE(footprintsCommute(fp(OpClass::kWrite, 1), fp(OpClass::kWrite, 1)));
+  EXPECT_FALSE(
+      footprintsCommute(fp(OpClass::kScan, 1), fp(OpClass::kUpdate, 1, 0)));
+}
+
+TEST(Footprints, UpdatesCommuteIffSlotsDiffer) {
+  EXPECT_TRUE(
+      footprintsCommute(fp(OpClass::kUpdate, 1, 0), fp(OpClass::kUpdate, 1, 1)));
+  EXPECT_FALSE(
+      footprintsCommute(fp(OpClass::kUpdate, 1, 0), fp(OpClass::kUpdate, 1, 0)));
+}
+
+TEST(Footprints, FdQueriesNeverCommute) {
+  // FD histories are time-indexed: swapping a query across any step can
+  // change its answer, so queries are ordered events of the run.
+  EXPECT_FALSE(footprintsCommute(fp(OpClass::kFdQuery), fp(OpClass::kNone)));
+  EXPECT_FALSE(footprintsCommute(fp(OpClass::kRead, 1), fp(OpClass::kFdQuery)));
+}
+
+TEST(Footprints, LocalStepsCommuteWithEverythingElse) {
+  EXPECT_TRUE(footprintsCommute(fp(OpClass::kNone), fp(OpClass::kNone)));
+  EXPECT_TRUE(footprintsCommute(fp(OpClass::kNone), fp(OpClass::kWrite, 1)));
+}
+
+// ---- The k-converge workload (same shape as tests/exhaustive_test.cc) ----
+
+Coro<Unit> oneShot(Env& env, int k, Value v) {
+  env.propose(v);
+  const Pick p = co_await kConverge(env, sim::ObjKey{"x.conv"}, k, v);
+  env.note(p.committed ? "commit" : "adopt", RegVal(p.value));
+  env.decide(p.value);
+  co_return Unit{};
+}
+
+struct Picks {
+  std::vector<Value> picked;    // per pid; kBottomValue when none
+  std::vector<bool> committed;  // per pid
+  friend bool operator<(const Picks& a, const Picks& b) {
+    if (a.picked != b.picked) return a.picked < b.picked;
+    return a.committed < b.committed;
+  }
+  friend bool operator==(const Picks& a, const Picks& b) {
+    return a.picked == b.picked && a.committed == b.committed;
+  }
+};
+
+Picks picksOf(const std::vector<sim::Event>& events, int n) {
+  Picks out;
+  out.picked.resize(static_cast<std::size_t>(n), kBottomValue);
+  out.committed.resize(static_cast<std::size_t>(n), false);
+  for (const auto& e : events) {
+    if (e.kind != sim::EventKind::kNote) continue;
+    if (e.label != "commit" && e.label != "adopt") continue;
+    out.picked[static_cast<std::size_t>(e.pid)] = e.value.asInt();
+    out.committed[static_cast<std::size_t>(e.pid)] = (e.label == "commit");
+  }
+  return out;
+}
+
+// The k-converge safety contract as an explorer property: C-Validity plus
+// C-Agreement ("any commit forces at most k distinct picks among the
+// processes that picked"). Crashed processes simply have no pick.
+std::function<std::string(const ExploreOutcome&)> convergeProperty(
+    int n, int k, const std::vector<Value>& props) {
+  return [n, k, props](const ExploreOutcome& o) -> std::string {
+    const Picks px = picksOf(o.events, n);
+    bool any_commit = false;
+    std::set<Value> picked;
+    for (int p = 0; p < n; ++p) {
+      const Value v = px.picked[static_cast<std::size_t>(p)];
+      if (v == kBottomValue) continue;
+      bool valid = false;
+      for (const Value q : props) valid = valid || (q == v);
+      if (!valid) return "C-Validity: p" + std::to_string(p + 1) +
+                         " picked non-proposal " + std::to_string(v);
+      picked.insert(v);
+      any_commit = any_commit || px.committed[static_cast<std::size_t>(p)];
+    }
+    if (any_commit && static_cast<int>(picked.size()) > k) {
+      return "C-Agreement: a commit with " + std::to_string(picked.size()) +
+             " > k = " + std::to_string(k) + " distinct picks";
+    }
+    return "";
+  };
+}
+
+ExploreConfig convergeConfig(int n, int k, const std::vector<Value>& props,
+                             ExploreMode mode) {
+  ExploreConfig cfg;
+  cfg.run.n_plus_1 = n;
+  cfg.mode = mode;
+  cfg.property = convergeProperty(n, k, props);
+  return cfg;
+}
+
+ExploreResult exploreConverge(int n, int k, const std::vector<Value>& props,
+                              ExploreMode mode) {
+  return explore(convergeConfig(n, k, props, mode),
+                 [k](Env& e, Value v) { return oneShot(e, k, v); }, props);
+}
+
+// ---- Brute-force oracle (the pre-explorer enumerator, kept verbatim) -----
+
+void forEachSchedule(int n, int per,
+                     const std::function<void(const std::vector<Pid>&)>& fn) {
+  std::vector<int> remaining(static_cast<std::size_t>(n), per);
+  std::vector<Pid> seq;
+  const std::function<void()> rec = [&] {
+    if (static_cast<int>(seq.size()) == n * per) {
+      fn(seq);
+      return;
+    }
+    for (Pid p = 0; p < n; ++p) {
+      if (remaining[static_cast<std::size_t>(p)] == 0) continue;
+      --remaining[static_cast<std::size_t>(p)];
+      seq.push_back(p);
+      rec();
+      seq.pop_back();
+      ++remaining[static_cast<std::size_t>(p)];
+    }
+  };
+  rec();
+}
+
+Picks runSchedule(int n, int k, const std::vector<Pid>& seq,
+                  const std::vector<Value>& props) {
+  RunConfig cfg;
+  cfg.n_plus_1 = n;
+  sim::Run run(cfg, [k](Env& e, Value v) { return oneShot(e, k, v); }, props);
+  sim::ScriptedPolicy policy(seq, std::make_unique<sim::RoundRobinPolicy>());
+  const Time taken = run.scheduler().run(policy, 10'000);
+  const auto rr = run.finish(taken);
+  EXPECT_TRUE(rr.all_correct_done);
+  return picksOf(rr.trace().events(), n);
+}
+
+std::set<Picks> explorerPickSet(const ExploreResult& res, int n) {
+  std::set<Picks> out;
+  for (const auto& [sig, o] : res.outcomes) out.insert(picksOf(o.events, n));
+  return out;
+}
+
+// ---- n = 2: explorer vs. the 70-schedule brute force, both modes ---------
+
+TEST(Explore, TwoProcOutcomeSetEqualsBruteForceExactly) {
+  const std::vector<Value> props = {100, 101};
+  std::set<Picks> brute;
+  int schedules = 0;
+  forEachSchedule(2, 4, [&](const std::vector<Pid>& seq) {
+    ++schedules;
+    brute.insert(runSchedule(2, 1, seq, props));
+  });
+  ASSERT_EQ(schedules, 70);  // C(8,4)
+
+  const ExploreResult dpor = exploreConverge(2, 1, props, ExploreMode::kDpor);
+  EXPECT_TRUE(dpor.verified()) << dpor.violation;
+  EXPECT_GT(dpor.schedules_explored, 0u);
+  EXPECT_LE(dpor.schedules_explored, 70u);
+  EXPECT_EQ(explorerPickSet(dpor, 2), brute);
+
+  const ExploreResult dag = exploreConverge(2, 1, props, ExploreMode::kDag);
+  EXPECT_TRUE(dag.verified()) << dag.violation;
+  EXPECT_EQ(explorerPickSet(dag, 2), brute);
+  // The memoized DAG walk covers all 70 schedules without running them.
+  EXPECT_LT(dag.steps_executed, 70u * 8u);
+}
+
+TEST(Explore, TwoProcSameProposalAlwaysCommits) {
+  // Convergence: identical proposals must commit in EVERY schedule — an
+  // exhaustive claim the explorer can actually certify.
+  const std::vector<Value> props = {100, 100};
+  ExploreConfig cfg = convergeConfig(2, 1, props, ExploreMode::kDpor);
+  cfg.property = [](const ExploreOutcome& o) -> std::string {
+    const Picks px = picksOf(o.events, 2);
+    for (int p = 0; p < 2; ++p) {
+      if (!px.committed[static_cast<std::size_t>(p)] ||
+          px.picked[static_cast<std::size_t>(p)] != 100) {
+        return "p" + std::to_string(p + 1) + " failed to commit 100";
+      }
+    }
+    return "";
+  };
+  const ExploreResult res =
+      explore(cfg, [](Env& e, Value v) { return oneShot(e, 1, v); }, props);
+  EXPECT_TRUE(res.verified()) << res.violation;
+}
+
+// ---- n = 3: the reduction claim ------------------------------------------
+
+TEST(Explore, ThreeProcDporReducesAtLeastFiveFold) {
+  const std::vector<Value> props = {100, 101, 102};
+  const ExploreResult dpor = exploreConverge(3, 2, props, ExploreMode::kDpor);
+  EXPECT_TRUE(dpor.verified()) << dpor.violation;
+  // Full permutation count is 12!/(4!)^3 = 34650; the acceptance bar is
+  // at least a 5x reduction.
+  EXPECT_LE(dpor.schedules_explored, 34650u / 5u);
+  EXPECT_GT(dpor.schedules_pruned, 0u);
+  EXPECT_GT(dpor.restores, 0u);
+
+  // Cross-check the verdict and the outcome set against the complete
+  // stateful search.
+  const ExploreResult dag = exploreConverge(3, 2, props, ExploreMode::kDag);
+  EXPECT_TRUE(dag.verified()) << dag.violation;
+  EXPECT_GT(dag.memo_hits, 0u);
+  EXPECT_EQ(explorerPickSet(dpor, 3), explorerPickSet(dag, 3));
+}
+
+// ---- The seeded bug: a broken commit-adopt the explorer must catch -------
+
+// Deliberately wrong commit-adopt: publishes and observes like the real
+// protocol's phase 1, but on disagreement ADOPTS ITS OWN value instead of
+// a value from the observed set. A solo-first schedule lets the early
+// process commit while a later one keeps its own different value.
+Coro<Unit> buggyOneShot(Env& env, Value v) {
+  env.propose(v);
+  const mem::SnapshotHandle s =
+      mem::makeSnapshot(env, sim::ObjKey{"x.bug"}, env.nProcs());
+  co_await mem::snapshotUpdate(env, s, env.me(), RegVal(v));
+  const std::vector<RegVal> view = co_await mem::snapshotScan(env, s);
+  const std::vector<Value> u = mem::distinctValues(view);
+  const bool commit = u.size() <= 1;
+  env.note(commit ? "commit" : "adopt", RegVal(v));  // bug: always own v
+  env.decide(v);
+  co_return Unit{};
+}
+
+TEST(Explore, SeededBugIsCaughtWithReplayableCounterexample) {
+  const std::vector<Value> props = {100, 101};
+  ExploreConfig cfg;
+  cfg.run.n_plus_1 = 2;
+  cfg.mode = ExploreMode::kDpor;
+  cfg.property = convergeProperty(2, 1, props);
+  const ExploreResult res = explore(
+      cfg, [](Env& e, Value v) { return buggyOneShot(e, v); }, props);
+
+  ASSERT_EQ(res.verdict, ExploreVerdict::kViolation);
+  EXPECT_NE(res.violation.find("C-Agreement"), std::string::npos)
+      << res.violation;
+  ASSERT_FALSE(res.counterexample.empty());
+  EXPECT_FALSE(res.counterexampleString().empty());
+
+  // The counterexample must REPLAY: the same pid sequence through a
+  // scripted policy reproduces the violation.
+  RunConfig rcfg;
+  rcfg.n_plus_1 = 2;
+  sim::Run run(rcfg, [](Env& e, Value v) { return buggyOneShot(e, v); },
+               props);
+  sim::ScriptedPolicy policy(res.counterexample,
+                             std::make_unique<sim::RoundRobinPolicy>());
+  const Time taken = run.scheduler().run(policy, 10'000);
+  const auto rr = run.finish(taken);
+  const Picks px = picksOf(rr.trace().events(), 2);
+  EXPECT_TRUE(px.committed[0] || px.committed[1]);
+  EXPECT_NE(px.picked[0], px.picked[1]);
+
+  // The honest protocol has no such schedule — and the DAG oracle agrees
+  // the bug is real.
+  const ExploreResult dag = explore(
+      convergeConfig(2, 1, props, ExploreMode::kDag),
+      [](Env& e, Value v) { return buggyOneShot(e, v); }, props);
+  EXPECT_EQ(dag.verdict, ExploreVerdict::kViolation);
+}
+
+// ---- Budget valves and mode preconditions --------------------------------
+
+TEST(Explore, ScheduleBudgetCutsSearchIncomplete) {
+  const std::vector<Value> props = {100, 101, 102};
+  ExploreConfig cfg = convergeConfig(3, 2, props, ExploreMode::kDpor);
+  cfg.max_schedules = 3;
+  const ExploreResult res = explore(
+      cfg, [](Env& e, Value v) { return oneShot(e, 2, v); }, props);
+  EXPECT_FALSE(res.complete);
+  EXPECT_FALSE(res.verified());
+  EXPECT_LE(res.schedules_explored, 3u);
+}
+
+TEST(Explore, DepthBudgetCutsSearchIncomplete) {
+  const std::vector<Value> props = {100, 101};
+  ExploreConfig cfg = convergeConfig(2, 1, props, ExploreMode::kDpor);
+  cfg.max_depth = 3;  // the workload needs 8 steps
+  const ExploreResult res = explore(
+      cfg, [](Env& e, Value v) { return oneShot(e, 1, v); }, props);
+  EXPECT_FALSE(res.complete);
+}
+
+TEST(Explore, DporRefusesCrashPatterns) {
+  ExploreConfig cfg = convergeConfig(2, 1, {100, 101}, ExploreMode::kDpor);
+  cfg.run.fp = sim::FailurePattern::withCrashes(2, {{1, 3}});
+  EXPECT_THROW(explore(cfg, [](Env& e, Value v) { return oneShot(e, 1, v); },
+                       {100, 101}),
+               sim::SimAbort);
+}
+
+TEST(Explore, DagExploresCrashPatterns) {
+  // p2 crashes at time 3: some schedules lose its steps entirely, others
+  // see its phase-1 write. The stateful search handles both; the
+  // property tolerates the missing pick.
+  const std::vector<Value> props = {100, 101};
+  ExploreConfig cfg = convergeConfig(2, 1, props, ExploreMode::kDag);
+  cfg.run.fp = sim::FailurePattern::withCrashes(2, {{1, 3}});
+  const ExploreResult res = explore(
+      cfg, [](Env& e, Value v) { return oneShot(e, 1, v); }, props);
+  EXPECT_TRUE(res.verified()) << res.violation;
+  EXPECT_GT(res.schedules_explored, 0u);
+}
+
+}  // namespace
+}  // namespace wfd

@@ -322,6 +322,79 @@ TEST(GoldenHashes, BatchReplayUnderStealingMatchesTheGrid) {
   }
 }
 
+// ---- Checkpoint/restore bit-identity (sim/explore.h prefix sharing) ------
+//
+// The explorer's soundness rests on Run::restore being invisible: a run
+// that is checkpointed, rewound, and re-driven must produce the same trace
+// hash — bit for bit — as one that never checkpointed. Held here across
+// the same 7 golden families, driven by a deterministic policy-free
+// rotation so the comparison is independent of policy/RNG state (which a
+// checkpoint deliberately does not capture for policies).
+
+Pid rotNext(const ProcSet& runnable, Pid& last) {
+  Pid p = runnable.nextAbove(last);
+  if (p < 0) p = runnable.min();
+  last = p;
+  return p;
+}
+
+// Drive by rotation until all correct processes finish or `horizon` steps.
+Time driveRotation(sim::Run& run, Pid& last, Time from, Time horizon) {
+  Time steps = from;
+  while (!run.scheduler().allCorrectDone() && steps < horizon) {
+    const ProcSet r = run.scheduler().runnable();
+    if (r.empty()) break;
+    run.scheduler().step(rotNext(r, last));
+    ++steps;
+  }
+  return steps;
+}
+
+TEST(GoldenHashes, RestoreThenContinueIsBitIdenticalAcrossFamilies) {
+  // fig3 never finishes on its own (extraction runs to the step budget),
+  // so every family is driven to a fixed horizon or completion.
+  constexpr Time kHorizon = 1500;
+  for (const char* family : kFamilies) {
+    SCOPED_TRACE(family);
+    const sim::BatchCell cell = batchCell(family, /*seed=*/7);
+
+    // A: the straight-line reference (checkpoint machinery on, unused).
+    sim::Run a(cell.cfg, cell.algo, cell.proposals);
+    a.enableCheckpoints();
+    Pid la = -1;
+    const Time sa = driveRotation(a, la, 0, kHorizon);
+    const std::uint64_t ha = a.world().trace().hash64();
+    ASSERT_GT(sa, 0);
+
+    // B: checkpoint mid-run, run to the end, rewind, run to the end again.
+    sim::Run b(cell.cfg, cell.algo, cell.proposals);
+    b.enableCheckpoints();
+    Pid lb = -1;
+    const Time mid = sa / 2;
+    ASSERT_EQ(driveRotation(b, lb, 0, mid), mid);
+    const sim::RunCheckpoint ck = b.checkpoint();
+    const Pid last_at_ck = lb;
+    EXPECT_EQ(driveRotation(b, lb, mid, kHorizon), sa);
+    EXPECT_EQ(b.world().trace().hash64(), ha)
+        << "drive with checkpoint taken diverged from straight line";
+    b.restore(ck);
+    lb = last_at_ck;
+    EXPECT_EQ(driveRotation(b, lb, mid, kHorizon), sa);
+    EXPECT_EQ(b.world().trace().hash64(), ha)
+        << "restore-then-continue diverged from straight line";
+
+    // C: the same checkpoint restored onto a FRESH run of the same
+    // configuration (the cross-run validity RunCheckpoint documents).
+    sim::Run c(cell.cfg, cell.algo, cell.proposals);
+    c.enableCheckpoints();
+    c.restore(ck);
+    Pid lc = last_at_ck;
+    EXPECT_EQ(driveRotation(c, lc, mid, kHorizon), sa);
+    EXPECT_EQ(c.world().trace().hash64(), ha)
+        << "fresh-run restore diverged from straight line";
+  }
+}
+
 int goldenRecord() {
   std::printf(
       "// Golden per-cell (trace hash, step count, outputs signature)\n"

@@ -33,6 +33,12 @@ guarantees:
                      per-step hot path is allocation-free by contract
                      (docs/PERF.md) — select pids with nth/nextAbove/
                      iterators and index slots with asserted operator[]
+  nondet-iteration   range-for over a std::unordered_{map,set,...} in ALL
+                     of src/ (including src/sim, where merely owning an
+                     unordered container is legal, e.g. sim/report_cache):
+                     iterating one visits elements in address/seed order,
+                     which leaks nondeterminism the moment any loop effect
+                     reaches a trace, a digest, or an eviction choice
 
 The harness-facing trees bench/ and examples/ are linted too: their runs
 feed EXPERIMENTS.md rows and documentation, so the same determinism rules
@@ -59,9 +65,44 @@ THREAD_SAFETY_DIRS = ["src/core", "src/fd", "src/memory", "src/sim"]
 # exactly the scheduler + policy translation units, not all of src/sim
 # (cold sim code legitimately uses members()/at()).
 HOT_PATH_FILES = ["src/sim/scheduler.cc", "src/sim/scheduler.h"]
+# The iteration rule binds the whole library tree: unlike declaring an
+# unordered container (legal in src/sim), ITERATING one is nondeterministic
+# everywhere.
+ALL_SRC_DIRS = ["src"]
 
-# (rule-name, compiled regex, explanation[, dirs]) — rules without an
-# explicit dirs entry bind LINTED_DIRS.
+
+UNORDERED_DECL_RX = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;{]*>\s*&?\s*(\w+)\s*[;={(]"
+)
+RANGE_FOR_RX = re.compile(r"\bfor\s*\([^;()]*:([^)]+)\)")
+
+
+def find_nondet_iteration(stripped: str):
+    """Line numbers of range-for loops over unordered containers.
+
+    File-wide two-pass matcher (not a line regex): first collect the names
+    of variables/members declared with an unordered container type, then
+    flag any range-for whose range expression names one of them — or spells
+    an unordered type inline (a temporary, a cast, a fully-typed member).
+    Name matching is per-file and purely textual, so a same-named ordered
+    container in another file never false-positives here.
+    """
+    names = set(UNORDERED_DECL_RX.findall(stripped))
+    hits = set()
+    for lineno, line in enumerate(stripped.splitlines(), start=1):
+        m = RANGE_FOR_RX.search(line)
+        if not m:
+            continue
+        expr = m.group(1)
+        if "unordered_" in expr or names.intersection(re.findall(r"\w+", expr)):
+            hits.add(lineno)
+    return hits
+
+
+# (rule-name, matcher, explanation[, dirs]) — rules without an explicit
+# dirs entry bind LINTED_DIRS. A matcher is either a compiled line regex
+# or a callable taking the comment/string-stripped file text and returning
+# the set of violating line numbers (for rules needing file-wide state).
 RULES = [
     (
         "libc-rand",
@@ -141,6 +182,16 @@ RULES = [
         "operator[] instead of .at()",
         HOT_PATH_FILES,
     ),
+    (
+        "nondet-iteration",
+        find_nondet_iteration,
+        "range-for over an unordered container visits elements in "
+        "address/seed-dependent order; iterate a std::map/std::set, or "
+        "keep an ordered side index of the keys (sim/report_cache.h "
+        "pairs its unordered map with an explicit LRU list for exactly "
+        "this reason)",
+        ALL_SRC_DIRS,
+    ),
 ]
 
 
@@ -196,12 +247,22 @@ def scan_text(text: str, path: str, rules=None):
     stripped = strip_comments_and_strings(text)
     lines = text.splitlines()
     active = RULES if rules is None else rules
+    # File-wide matchers run once per file up front; their hits merge into
+    # the per-line loop so model-lint-allow suppression applies uniformly.
+    filewide_hits = {
+        rule[0]: rule[1](stripped) for rule in active if callable(rule[1])
+    }
     for lineno, line in enumerate(stripped.splitlines(), start=1):
         if "model-lint-allow" in (lines[lineno - 1] if lineno <= len(lines) else ""):
             continue
         for rule in active:
-            name, rx = rule[0], rule[1]
-            if rx.search(line):
+            name, matcher = rule[0], rule[1]
+            hit = (
+                lineno in filewide_hits[name]
+                if callable(matcher)
+                else matcher.search(line)
+            )
+            if hit:
                 src = lines[lineno - 1].strip() if lineno <= len(lines) else ""
                 findings.append((path, lineno, name, src))
     return findings
@@ -258,6 +319,10 @@ VIOLATING_SNIPPETS = {
     "fp-mutation": "void rogue(World& w) { w.injectCrash(2); }\n",
     "global-mutable": "static int g_hits = 0;\n",
     "hot-path-alloc": "Pid pick(const ProcSet& r) { return r.members()[0]; }\n",
+    "nondet-iteration": (
+        "std::unordered_map<std::uint64_t, Entry> cache_;\n"
+        "void dump() { for (const auto& [k, v] : cache_) use(k, v); }\n"
+    ),
 }
 
 CLEAN_SNIPPET = """\
@@ -274,6 +339,7 @@ Coro<Unit> algo(Env& env, Value v) {
   co_await env.write(r, RegVal(v));           // one op per step
   const auto res = co_await env.read(r);
   std::map<int, int> ordered;                 // deterministic iteration
+  for (const auto& [k, val] : ordered) use(k, val);  // ordered: legal
   const auto fp = FailurePattern::random(4, 2, 60, 7);  // seeded factory
   const char* s = "call rand() at time(0) on world()";  // string, not code
   env.decide(res.scalar.asInt());
