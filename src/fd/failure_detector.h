@@ -68,9 +68,9 @@ inline constexpr std::uint64_t kOpaqueFdDigest = 0;
 // of run. kNone opts a detector out (scripted/adversarial histories whose
 // whole point is to sit outside any family).
 struct AxiomSpec {
-  enum class Family { kNone, kUpsilonF, kOmegaK };
+  enum class Family { kNone, kUpsilonF, kOmegaK, kEventuallyPerfect };
   Family family = Family::kNone;
-  int param = 0;  // f (Upsilon^f) or k (Omega^k); unused for kNone
+  int param = 0;  // f (Upsilon^f) or k (Omega^k); unused otherwise
 };
 
 class FailureDetector {

@@ -28,6 +28,9 @@ class PerfectFd final : public FailureDetector {
   ProcSet query(Pid, Time t) const override { return fp_.crashedBy(t); }
   [[nodiscard]] std::string name() const override { return "P"; }
   [[nodiscard]] Time stabilizationTime() const override;
+  [[nodiscard]] AxiomSpec axioms() const override {
+    return {AxiomSpec::Family::kEventuallyPerfect, 0};  // P satisfies <>P
+  }
   [[nodiscard]] std::uint64_t keyDigest() const override {
     return digestPattern(digestString(0x9E4F, name()), fp_);
   }
@@ -48,6 +51,9 @@ class EventuallyPerfectFd final : public FailureDetector {
   ProcSet query(Pid p, Time t) const override;
   [[nodiscard]] std::string name() const override { return "<>P"; }
   [[nodiscard]] Time stabilizationTime() const override;
+  [[nodiscard]] AxiomSpec axioms() const override {
+    return {AxiomSpec::Family::kEventuallyPerfect, 0};
+  }
   [[nodiscard]] std::uint64_t keyDigest() const override {
     std::uint64_t h = digestPattern(digestString(0xE9EF, name()), fp_);
     h = mixDigest(h, static_cast<std::uint64_t>(params_.stab_time));

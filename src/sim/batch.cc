@@ -16,7 +16,8 @@ namespace wfd::sim {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+// Host-side worker busy-time measurement, not simulation state.
+using Clock = std::chrono::steady_clock;  // model-lint-allow: host timing
 
 double secondsSince(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
@@ -375,6 +376,50 @@ fd::FdPtr FdCache::omegaK(const FailurePattern& fp, int k, Time stab,
                           std::uint64_t seed) {
   return getOrBuild(makeKey(3, fp, k, stab, seed),
                     [&] { return fd::makeOmegaK(fp, k, stab, seed); });
+}
+
+net::NetHistoryPtr FdCache::netHistory(const FailurePattern& fp,
+                                       const net::NetConfig& cfg) {
+  Key key = makeKey(7, fp, 0, 0, cfg.digest());
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = net_cache_.find(key);
+    if (it != net_cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  // Simulate outside the lock — the expensive part; duplicate builds are
+  // identical (the substrate is seed-deterministic), first insert wins.
+  net::NetHistoryPtr built = net::simulateHeartbeats(fp, cfg);
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = net_cache_.emplace(std::move(key), std::move(built));
+  if (inserted) {
+    ++misses_;
+  } else {
+    ++hits_;
+  }
+  return it->second;
+}
+
+fd::FdPtr FdCache::netEventuallyPerfect(const FailurePattern& fp,
+                                        const net::NetConfig& cfg) {
+  return getOrBuild(makeKey(4, fp, 0, 0, cfg.digest()), [&] {
+    return net::makeRealizedEventuallyPerfect(netHistory(fp, cfg));
+  });
+}
+
+fd::FdPtr FdCache::netOmega(const FailurePattern& fp,
+                            const net::NetConfig& cfg) {
+  return getOrBuild(makeKey(5, fp, 0, 0, cfg.digest()),
+                    [&] { return net::makeRealizedOmega(netHistory(fp, cfg)); });
+}
+
+fd::FdPtr FdCache::netUpsilonF(const FailurePattern& fp, int f,
+                               const net::NetConfig& cfg) {
+  return getOrBuild(makeKey(6, fp, f, 0, cfg.digest()), [&] {
+    return net::makeRealizedUpsilon(netHistory(fp, cfg), f);
+  });
 }
 
 std::size_t FdCache::hits() const {

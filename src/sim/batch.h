@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "sim/chaos.h"
+#include "sim/net/realized_fd.h"
 #include "sim/runner.h"
 #include "sim/watchdog.h"
 
@@ -199,15 +200,32 @@ class FdCache {
   fd::FdPtr omegaK(const FailurePattern& fp, int k, Time stab,
                    std::uint64_t seed);
 
+  // Realized heartbeat detectors (sim/net/realized_fd.h). The simulated
+  // network execution is itself cached per (pattern, cfg) — the three
+  // lenses over one execution share ONE NetHistory, so a campaign that
+  // certifies <>P, Omega and Upsilon against the same substrate pays for
+  // one simulation, not three.
+  fd::FdPtr netEventuallyPerfect(const FailurePattern& fp,
+                                 const net::NetConfig& cfg);
+  fd::FdPtr netOmega(const FailurePattern& fp, const net::NetConfig& cfg);
+  fd::FdPtr netUpsilonF(const FailurePattern& fp, int f,
+                        const net::NetConfig& cfg);
+  // The shared execution itself (cached); exposed for substrate tests.
+  net::NetHistoryPtr netHistory(const FailurePattern& fp,
+                                const net::NetConfig& cfg);
+
   [[nodiscard]] std::size_t hits() const;
   [[nodiscard]] std::size_t misses() const;
   [[nodiscard]] std::size_t size() const;
 
  private:
   // (family, crash times, param, stab, seed) pins a constructed history
-  // completely: every factory below is a pure function of these.
+  // completely: every factory below is a pure function of these. The net
+  // families carry NetConfig::digest() in `seed` (it pins every substrate
+  // knob) and the lens parameter in `param`.
   struct Key {
-    int family = 0;  // 0 Upsilon, 1 Upsilon^f, 2 Omega, 3 Omega^k
+    int family = 0;  // 0 Upsilon, 1 Upsilon^f, 2 Omega, 3 Omega^k,
+                     // 4 net <>P, 5 net Omega, 6 net Upsilon^f
     std::vector<Time> crash_at;
     int param = 0;
     Time stab = 0;
@@ -222,6 +240,7 @@ class FdCache {
 
   mutable std::mutex mu_;
   std::map<Key, fd::FdPtr> cache_;
+  std::map<Key, net::NetHistoryPtr> net_cache_;  // family 7: raw executions
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
 };

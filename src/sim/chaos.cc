@@ -49,6 +49,8 @@ int minLegalSize(const AxiomSpec& spec, int n_plus_1) {
       return std::max(1, n_plus_1 - spec.param);
     case AxiomSpec::Family::kOmegaK:
       return std::max(1, spec.param);
+    case AxiomSpec::Family::kEventuallyPerfect:
+      return 0;  // any suspicion set — even empty — is in range pre-stab
     case AxiomSpec::Family::kNone:
       return 1;
   }
@@ -60,6 +62,17 @@ int minLegalSize(const AxiomSpec& spec, int n_plus_1) {
 // plus random extras); Omega^k: exactly k members.
 ProcSet legalNoise(const AxiomSpec& spec, int n_plus_1, std::uint64_t seed,
                    Pid p, Time t) {
+  if (spec.family == AxiomSpec::Family::kEventuallyPerfect) {
+    // <>P's pre-stabilization output is unconstrained: any subset of Pi.
+    const std::uint64_t bits =
+        hashedUniform(seed, static_cast<std::uint64_t>(p) + 1,
+                      2 * static_cast<std::uint64_t>(t), ~std::uint64_t{0});
+    ProcSet s;
+    for (Pid q = 0; q < n_plus_1; ++q) {
+      if (((bits >> q) & 1) != 0) s.insert(q);
+    }
+    return s;
+  }
   const int min_size = minLegalSize(spec, n_plus_1);
   const auto base = static_cast<int>(
       hashedUniform(seed, static_cast<std::uint64_t>(p) + 1,
@@ -223,9 +236,62 @@ bool ChaosEngine::tryCrash(World& world, Pid victim) {
   return true;
 }
 
-void ChaosEngine::beforeStep(World& world) {
+void ChaosEngine::captureScans(World& world, const Scheduler& sched) {
+  const StaleSnapshot& ss = *cfg_.stale_snapshot;
+  for (Pid p = 0; p < world.nProcs(); ++p) {
+    const ProcCtx& c = sched.ctx(p);
+    if (c.done || c.crashed || !c.pending.has_value()) continue;
+    const auto* s = std::get_if<OpSnapScan>(&*c.pending);
+    if (s == nullptr) continue;
+    const auto key = std::make_pair(p, s->obj);
+    // One decision per scan REQUEST: the owner's step count is frozen
+    // until the scan executes, so it identifies the request however many
+    // beforeStep calls see it pending. The first call runs before any
+    // other process steps after the request, so the captured view IS the
+    // request-time memory.
+    if (const auto it = scan_decided_.find(key);
+        it != scan_decided_.end() && it->second == c.steps) {
+      continue;
+    }
+    scan_decided_[key] = c.steps;
+    if (hashedUniform(cfg_.seed ^ ss.seed ^ 0x5CA1E5CA1ED0ULL,
+                      static_cast<std::uint64_t>(p) + 1,
+                      static_cast<std::uint64_t>(c.steps) * 0x100001B3ULL +
+                          static_cast<std::uint64_t>(s->obj),
+                      1000) >= static_cast<std::uint64_t>(ss.permille)) {
+      continue;
+    }
+    std::vector<RegVal> view = world.objectsConst().peekSlots(s->obj);
+    std::vector<RegVal> serve = view;
+    if (ss.illegal_past) {
+      // Negative control: serve the view captured at this process's
+      // previous overridden scan of the object — possibly older than
+      // updates that completed before this scan began.
+      if (const auto pit = scan_prev_.find(key); pit != scan_prev_.end()) {
+        serve = pit->second;
+      }
+    }
+    if (world.auditor() != nullptr) {
+      world.auditor()->captureScanRequest(p, s->obj, view);
+    }
+    scan_prev_[key] = std::move(view);
+    scan_pending_[key] = std::move(serve);
+  }
+}
+
+std::optional<std::vector<RegVal>> ChaosEngine::overrideScan(Pid p,
+                                                             ObjId obj) {
+  const auto it = scan_pending_.find({p, obj});
+  if (it == scan_pending_.end()) return std::nullopt;
+  std::vector<RegVal> v = std::move(it->second);
+  scan_pending_.erase(it);
+  return v;
+}
+
+void ChaosEngine::beforeStep(World& world, const Scheduler& sched) {
   if (!planned_) plan(world);
   const Time now = world.now();
+  if (wantsScanOverride()) captureScans(world, sched);
 
   for (TimedCrash& c : timed_) {
     if (!c.fired && c.at <= now) {

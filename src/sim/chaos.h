@@ -37,7 +37,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "fd/failure_detector.h"
@@ -92,6 +94,28 @@ struct CrashInjection {
   std::uint64_t seed = 0;   // kRandom: victim/time stream
 };
 
+// ---- Object-level fault injection ---------------------------------------
+
+// Stale-but-linearizable snapshot views (docs/CHAOS.md): each snapshot
+// scan is, with probability permille/1000, served the view the object
+// held when the scan was REQUESTED instead of when it executes — the
+// oldest view an atomic scan may legally return (a scan linearizes
+// anywhere between invocation and response, so the invocation-time
+// memory is a legal linearization; concurrent updates simply order
+// after it). Safety must survive this injector unconditionally.
+//
+// `illegal_past` is the negative control: serve the view captured at
+// that process's PREVIOUS overridden scan of the same object — a view
+// that can predate updates which completed before this scan even began.
+// The step auditor's stale-scan rule (sim/step_audit.h) must flag it
+// whenever the served view matches neither the request-time nor the
+// response-time memory.
+struct StaleSnapshot {
+  int permille = 250;      // per-scan injection probability (0..1000)
+  std::uint64_t seed = 0;  // independent fire stream
+  bool illegal_past = false;
+};
+
 // ---- Schedule bias -------------------------------------------------------
 
 // Starve `victims` for the bounded window [from, from + length).
@@ -123,10 +147,14 @@ struct ChaosConfig {
   std::vector<CrashInjection> crashes;
   std::vector<StarvationWindow> starvation;
   std::optional<OpDelay> op_delay;
+  std::optional<StaleSnapshot> stale_snapshot;
   FdGlitch glitch;
 
   [[nodiscard]] bool legal() const {
-    return glitchIsLegal(glitch.kind);  // crash/schedule injectors always are
+    // Crash/schedule injectors are always legal; stale snapshots are
+    // legal unless running the illegal-past negative control.
+    return glitchIsLegal(glitch.kind) &&
+           !(stale_snapshot.has_value() && stale_snapshot->illegal_past);
   }
 };
 
@@ -142,8 +170,23 @@ class ChaosEngine {
   [[nodiscard]] fd::FdPtr wrapFd(fd::FdPtr inner, const FailurePattern& fp,
                                  int n_plus_1) const;
 
-  // Crash triggers; the watchdog calls this before each schedule pick.
-  void beforeStep(World& world);
+  // Crash triggers and pending-scan view captures; the watchdog calls
+  // this before each schedule pick. The scheduler is consulted (read
+  // only) for each process's pending operation, so a scan override can
+  // be decided — and its request-time view captured — before the scan's
+  // owning step runs.
+  void beforeStep(World& world, const Scheduler& sched);
+
+  // Stale-snapshot wiring (World::setScanOverride): true when the config
+  // asks for scan injection at all.
+  [[nodiscard]] bool wantsScanOverride() const {
+    return cfg_.stale_snapshot.has_value() &&
+           cfg_.stale_snapshot->permille > 0;
+  }
+  // The view to serve for p's executing scan of `obj`; nullopt = live
+  // memory. Consumes the decision made in beforeStep.
+  [[nodiscard]] std::optional<std::vector<RegVal>> overrideScan(Pid p,
+                                                                ObjId obj);
 
   // Schedule-bias injectors: filter the runnable set. Falls back to the
   // unfiltered set rather than returning empty (schedules must make
@@ -168,6 +211,7 @@ class ChaosEngine {
 
   void plan(const World& world);  // lazy: needs n+1 from the world
   bool tryCrash(World& world, Pid victim);
+  void captureScans(World& world, const Scheduler& sched);
 
   ChaosConfig cfg_;
   bool planned_ = false;
@@ -176,6 +220,16 @@ class ChaosEngine {
   int on_decide_left_ = 0;
   std::size_t decide_scan_ = 0;  // trace events inspected for kOnDecide
   int crashes_injected_ = 0;
+
+  // Stale-snapshot state. `scan_decided_` remembers which pending scan
+  // (keyed by the owner's step count at request time) was already
+  // decided, so one request is decided exactly once however many
+  // beforeStep calls see it pending. `scan_pending_` holds views to
+  // serve; `scan_prev_` the per-(pid, obj) previously captured view for
+  // the illegal-past control.
+  std::map<std::pair<Pid, ObjId>, Time> scan_decided_;
+  std::map<std::pair<Pid, ObjId>, std::vector<RegVal>> scan_pending_;
+  std::map<std::pair<Pid, ObjId>, std::vector<RegVal>> scan_prev_;
 };
 
 // Run `algo` under cfg's policy with chaos perturbations and the watchdog:

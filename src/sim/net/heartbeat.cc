@@ -1,0 +1,47 @@
+#include "sim/net/heartbeat.h"
+
+namespace wfd::sim::net {
+
+namespace {
+constexpr int kTagHeartbeat = 1;
+}  // namespace
+
+HeartbeatProcess::HeartbeatProcess(int n_plus_1, const HeartbeatConfig& hb)
+    : n_plus_1_(n_plus_1),
+      hb_(hb),
+      timeout_(static_cast<std::size_t>(n_plus_1), hb.initial_timeout) {}
+
+void HeartbeatProcess::onStart(NetContext& ctx) {
+  ctx.setOutput(suspected_);  // initially nobody is suspected
+  ctx.broadcast(kTagHeartbeat);
+  ctx.setTimer(sendTimerId(), hb_.period);
+  for (Pid q = 0; q < n_plus_1_; ++q) {
+    if (q != ctx.me()) ctx.setTimer(q, timeout_[static_cast<std::size_t>(q)]);
+  }
+}
+
+void HeartbeatProcess::onMessage(NetContext& ctx, const Message& m) {
+  const Pid q = m.from;
+  if (suspected_.contains(q)) {
+    // A late heartbeat: the suspicion was premature. Un-suspect and back
+    // off — the raised timeout is what makes false suspicions finite.
+    suspected_.erase(q);
+    timeout_[static_cast<std::size_t>(q)] += hb_.timeout_increment;
+    ctx.setOutput(suspected_);
+  }
+  ctx.setTimer(q, timeout_[static_cast<std::size_t>(q)]);
+}
+
+void HeartbeatProcess::onTimer(NetContext& ctx, int timer_id) {
+  if (timer_id == sendTimerId()) {
+    ctx.broadcast(kTagHeartbeat);
+    ctx.setTimer(sendTimerId(), hb_.period);
+    return;
+  }
+  // Suspicion timer: `timer_id` ticks of silence from that peer. No
+  // re-arm — the suspicion stands until a message arrives.
+  suspected_.insert(timer_id);
+  ctx.setOutput(suspected_);
+}
+
+}  // namespace wfd::sim::net

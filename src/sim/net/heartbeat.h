@@ -1,0 +1,45 @@
+// The increasing-timeout heartbeat detector protocol (docs/NET.md).
+//
+// The classic ◊P construction for partial synchrony (Chandra–Toueg [4];
+// the technique of SNIPPETS.md's EventuallyStrongDetector): every
+// process broadcasts a heartbeat each `period` ticks and keeps one
+// suspicion timer per peer. Silence past the peer's current timeout =>
+// suspect; a heartbeat from a suspected peer => un-suspect AND raise
+// that peer's timeout by `timeout_increment` (additive backoff).
+//
+// Convergence after GST: a live peer's heartbeats arrive at most
+// period + delta apart, and each false suspicion permanently grows the
+// timeout, so after finitely many mistakes timeout > period + delta and
+// the peer is never suspected again. A crashed peer falls silent, its
+// timer fires, and the suspicion is permanent. Hence the suspicion sets
+// of all live processes converge to exactly faulty(F) — the realized ◊P
+// history that fd/realized_fd.h certifies and lenses into Omega and
+// Upsilon.
+#pragma once
+
+#include <vector>
+
+#include "sim/net/net_world.h"
+
+namespace wfd::sim::net {
+
+class HeartbeatProcess final : public NetProcess {
+ public:
+  HeartbeatProcess(int n_plus_1, const HeartbeatConfig& hb);
+
+  void onStart(NetContext& ctx) override;
+  void onMessage(NetContext& ctx, const Message& m) override;
+  void onTimer(NetContext& ctx, int timer_id) override;
+
+ private:
+  // Timer ids: peer pid = suspicion timer for that peer; n+1 = the
+  // periodic heartbeat send timer (never a valid pid).
+  [[nodiscard]] int sendTimerId() const { return n_plus_1_; }
+
+  int n_plus_1_;
+  HeartbeatConfig hb_;
+  std::vector<Time> timeout_;  // per-peer current timeout
+  ProcSet suspected_;
+};
+
+}  // namespace wfd::sim::net

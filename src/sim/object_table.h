@@ -140,6 +140,11 @@ class ObjectTable {
   }
   [[nodiscard]] Kind kindOf(ObjId id) const;
   [[nodiscard]] int slotCount(ObjId id) const;      // snapshots
+  // Snapshot cell contents without counting as an access — the stale-scan
+  // auditor and the chaos capture hook compare views at zero model cost.
+  [[nodiscard]] const std::vector<RegVal>& peekSlots(ObjId id) const {
+    return objects_[static_cast<std::size_t>(id)].slots;
+  }
   [[nodiscard]] int portLimit(ObjId id) const;      // consensus
   [[nodiscard]] int proposerCount(ObjId id) const;  // consensus
   [[nodiscard]] bool hasProposed(ObjId id, Pid p) const;

@@ -39,6 +39,13 @@ std::uint64_t digestChaos(std::uint64_t h, const ChaosConfig& c) {
   } else {
     h = mixDigest(h, 0x0D);
   }
+  if (c.stale_snapshot.has_value()) {
+    h = mixDigest(h, static_cast<std::uint64_t>(c.stale_snapshot->permille));
+    h = mixDigest(h, c.stale_snapshot->seed);
+    h = mixDigest(h, c.stale_snapshot->illegal_past ? 2u : 1u);
+  } else {
+    h = mixDigest(h, 0x5C);
+  }
   h = mixDigest(h, static_cast<std::uint64_t>(c.glitch.kind));
   h = mixDigest(h, static_cast<std::uint64_t>(c.glitch.delay));
   h = mixDigest(h, c.glitch.seed);

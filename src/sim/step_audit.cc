@@ -15,6 +15,7 @@ const char* auditRuleName(AuditRule rule) {
     case AuditRule::kCrashedStep: return "crashed-step";
     case AuditRule::kFdNonMonotone: return "fd-non-monotone";
     case AuditRule::kFdIllegalOutput: return "fd-illegal-output";
+    case AuditRule::kStaleScan: return "stale-scan";
   }
   return "?";
 }
@@ -266,6 +267,9 @@ void StepAuditor::onFdAnswer(Pid p, const ProcSet& answer) {
       return;
     }
   }
+  // kEventuallyPerfect has no per-answer range axiom (any suspicion set is
+  // legal pre-stabilization); its teeth are the constancy check below and
+  // the finalize condition stable value == faulty(F).
 
   // Stability: our detector implementations promise the uniform contract
   // "query(p, t) is the stable value for every p once t >=
@@ -311,7 +315,41 @@ void StepAuditor::finalizeFdAxioms() {
                " which contains no correct process — Omega^k's stable set "
                "must include at least one");
     }
+  } else if (spec.family == fd::AxiomSpec::Family::kEventuallyPerfect) {
+    const ProcSet faulty = world_->pattern().faulty();
+    if (post_stab_value_ != faulty) {
+      flag(AuditRule::kFdIllegalOutput, -1,
+           det->name() + " stabilized on " + post_stab_value_.toString() +
+               " but faulty(F) = " + faulty.toString() +
+               " — <>P must eventually suspect exactly the faulty "
+               "processes (strong completeness + eventual strong accuracy)");
+    }
   }
+}
+
+void StepAuditor::captureScanRequest(Pid p, ObjId obj,
+                                     std::vector<RegVal> view) {
+  scan_captures_[{p, obj}] = std::move(view);
+}
+
+void StepAuditor::onScanResult(Pid p, ObjId obj,
+                               const std::vector<RegVal>& view) {
+  const auto it = scan_captures_.find({p, obj});
+  if (it == scan_captures_.end()) return;  // no injection: nothing to judge
+  const std::vector<RegVal> captured = std::move(it->second);
+  scan_captures_.erase(it);
+  // Legal linearization points for an atomic scan: anywhere between
+  // invocation and response. The served view must therefore match the
+  // memory at SOME instant in that window; the chaos injector only ever
+  // serves the two endpoints, so checking both is exact for it — and any
+  // older view is a real-time-order violation whenever updates intervened.
+  if (view == world_->objectsConst().peekSlots(obj)) return;  // response time
+  if (view == captured) return;                               // request time
+  flag(AuditRule::kStaleScan, p,
+       "scan of obj#" + std::to_string(obj) +
+           " returned a view that is neither the current memory nor the "
+           "memory at the scan's invocation — not linearizable (the view "
+           "predates an update that completed before the scan began)");
 }
 
 void StepAuditor::onObjectAccess(ObjId id, ObjectAccess access) {

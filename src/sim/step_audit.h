@@ -27,8 +27,10 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/object_table.h"
@@ -51,6 +53,9 @@ enum class AuditRule {
   kCrashedStep,     // a step scheduled for a process in F(now)
   kFdNonMonotone,   // FD queried at a non-increasing time for a process
   kFdIllegalOutput, // a query answer broke the detector's own axiom claim
+  kStaleScan,       // a scan returned a view that is neither current nor
+                    // the view at the scan's own invocation (chaos
+                    // stale-snapshot injection gone illegal)
 };
 
 [[nodiscard]] const char* auditRuleName(AuditRule rule);
@@ -94,6 +99,18 @@ class StepAuditor final : public ObjectTable::AccessObserver {
   // AxiomSpec (range per answer; constancy after stabilizationTime()).
   // In kThrow mode an illegal answer never enters the run.
   void onFdAnswer(Pid p, const ProcSet& answer);
+  // World::execute, after a snapshot scan produced its view (possibly
+  // replaced by a chaos scan override) and before it reaches the
+  // algorithm: a legal view is the CURRENT memory or the memory at the
+  // scan's own invocation (any older view would order the scan before an
+  // update that preceded its invocation — not linearizable). Only checks
+  // when a request-time capture exists (sim/chaos.h records one per
+  // overridden scan via captureScanRequest), so normal runs pay nothing.
+  void onScanResult(Pid p, ObjId obj, const std::vector<RegVal>& view);
+  // Chaos wiring: remember the view `obj` held when p's pending scan was
+  // requested, keyed by (p, obj). Overwritten per scan; consumed by
+  // onScanResult.
+  void captureScanRequest(Pid p, ObjId obj, std::vector<RegVal> view);
   // End-of-run axiom conditions that need the final failure pattern
   // (Upsilon: stable value != correct(F); Omega^k: stable leaders contain
   // a correct process). Idempotent; called by World::endAuditObservation.
@@ -145,6 +162,10 @@ class StepAuditor final : public ObjectTable::AccessObserver {
   bool post_stab_seen_ = false;
   ProcSet post_stab_value_;
   bool fd_finalized_ = false;
+
+  // Request-time scan views captured by the chaos engine for overridden
+  // scans; keyed (pid, obj). Empty unless stale-snapshot injection is on.
+  std::map<std::pair<Pid, ObjId>, std::vector<RegVal>> scan_captures_;
 
   Time steps_audited_ = 0;
   Time ops_audited_ = 0;

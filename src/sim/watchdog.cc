@@ -24,6 +24,15 @@ RunReport driveWatched(Run& run, SchedulePolicy& policy,
   World& world = run.world();
   Scheduler& sched = run.scheduler();
 
+  // Stale-snapshot injection (sim/chaos.h): route scan results through
+  // the engine. Installed only when configured, so every other run's
+  // scan path — and its trace — is untouched.
+  if (chaos != nullptr && chaos->wantsScanOverride()) {
+    world.setScanOverride([chaos](Pid p, ObjId obj) {
+      return chaos->overrideScan(p, obj);
+    });
+  }
+
   // Online safety state: distinct decided values and per-process decision
   // counts, maintained incrementally from the trace.
   std::set<Value> distinct;
@@ -40,7 +49,7 @@ RunReport driveWatched(Run& run, SchedulePolicy& policy,
                    " exhausted before all correct processes finished";
       break;
     }
-    if (chaos != nullptr) chaos->beforeStep(world);
+    if (chaos != nullptr) chaos->beforeStep(world, sched);
     const ProcSet runnable = sched.runnable();
     if (runnable.empty()) break;  // every live process finished
     const ProcSet pick_from =

@@ -19,6 +19,12 @@ OpResult World::execute(Pid p, const Op& op) {
     objects_.update(u->obj, u->slot, u->val);
   } else if (const auto* s = std::get_if<OpSnapScan>(&op)) {
     res.snapshot = objects_.scan(s->obj);
+    if (scan_override_) {
+      if (auto v = scan_override_(p, s->obj)) res.snapshot = std::move(*v);
+      // Judge the served view (replaced or not) online, before the
+      // algorithm sees it — mirrors onFdAnswer for FD outputs.
+      if (audit_) audit_->onScanResult(p, s->obj, res.snapshot);
+    }
   } else if (std::holds_alternative<OpFdQuery>(op)) {
     if (fd_ == nullptr) {
       throw SimAbort("p" + std::to_string(p + 1) + " queried its failure "

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -67,6 +68,18 @@ class World {
   // engine this is off-limits (tools/model_lint.py bans it): a run's
   // failure pattern is otherwise part of its immutable configuration.
   void injectCrash(Pid p);
+
+  // Chaos stale-snapshot injection (sim/chaos.h): when installed, each
+  // snapshot scan may have its result replaced by the override's view
+  // (std::nullopt = serve the live memory). Every overridden-world scan
+  // result is then reported to the auditor's onScanResult, which judges
+  // it against the linearizability window. Normal runs never install one.
+  using ScanOverride =
+      std::function<std::optional<std::vector<RegVal>>(Pid, ObjId)>;
+  void setScanOverride(ScanOverride f) { scan_override_ = std::move(f); }
+  [[nodiscard]] bool hasScanOverride() const {
+    return static_cast<bool>(scan_override_);
+  }
 
   ObjectTable& objects() { return objects_; }
   [[nodiscard]] const ObjectTable& objectsConst() const { return objects_; }
@@ -142,6 +155,7 @@ class World {
   ObjectTable objects_;
   Trace trace_;
   std::unique_ptr<StepAuditor> audit_;
+  ScanOverride scan_override_;
   std::vector<RegVal> published_ =
       std::vector<RegVal>(static_cast<std::size_t>(n_plus_1_));
 };

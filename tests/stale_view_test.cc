@@ -1,0 +1,130 @@
+// Stale-but-linearizable snapshot views (sim/chaos.h StaleSnapshot):
+// serving a scan its request-time view is a legal linearization, so
+// safety and the audit must survive it unconditionally; the illegal-past
+// negative control (a view older than the scan's invocation) must be
+// flagged by the auditor's stale-scan rule. docs/CHAOS.md carries the
+// legality argument these tests certify.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace wfd {
+namespace {
+
+using core::checkKSetAgreement;
+using core::upsilonSetAgreement;
+using sim::ChaosConfig;
+using sim::Env;
+using sim::FailurePattern;
+using sim::ObjKey;
+using sim::RunConfig;
+using sim::RunReport;
+using sim::RunVerdict;
+using sim::StaleSnapshot;
+using sim::WatchdogConfig;
+
+// Every process interleaves updates to its own slot with scans of the
+// whole object — the densest scan/update contention the injector can see,
+// and (single-writer slots) a workload where each process can verify its
+// OWN slot is never served older than its last completed update... which
+// is exactly what the illegal-past control violates.
+sim::AlgoFn scanWriter(int rounds = 12) {
+  return [rounds](Env& e, Value) -> sim::Coro<sim::Unit> {
+    const sim::ObjId s = e.snap(ObjKey{"S", 0}, e.nProcs());
+    for (int i = 0; i < rounds; ++i) {
+      co_await e.snapUpdate(s, e.me(), RegVal(static_cast<Value>(100 * e.me() + i)));
+      (void)co_await e.snapScan(s);
+    }
+    e.decide(0);
+    co_return sim::Unit{};
+  };
+}
+
+TEST(StaleView, LegalStaleViewsRunCleanUnderAudit) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    RunConfig cfg;
+    cfg.n_plus_1 = 4;
+    cfg.seed = seed;
+    ChaosConfig chaos;
+    chaos.seed = seed;
+    chaos.stale_snapshot = StaleSnapshot{/*permille=*/800, seed, false};
+    ASSERT_TRUE(chaos.legal());
+    const RunReport rep =
+        runChaosTask(cfg, chaos, WatchdogConfig{200'000, 0, 0}, scanWriter(),
+                     test::distinctProposals(4));
+    ASSERT_EQ(rep.verdict, RunVerdict::kOk)
+        << "seed " << seed << ": " << sim::runVerdictName(rep.verdict) << " "
+        << rep.detail;
+  }
+}
+
+TEST(StaleView, IllegalPastViewsAreAlwaysFlagged) {
+  // permille = 1000 fires on every scan: the second overridden scan of
+  // each process is served the view captured at its FIRST scan — which
+  // predates that process's own completed update, so it can match
+  // neither the request-time nor the response-time memory. The same fire
+  // stream as the legal variant, so this also proves the legal test
+  // above actually exercised overridden scans.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    RunConfig cfg;
+    cfg.n_plus_1 = 4;
+    cfg.seed = seed;
+    ChaosConfig chaos;
+    chaos.seed = seed;
+    chaos.stale_snapshot = StaleSnapshot{/*permille=*/1000, seed, true};
+    ASSERT_FALSE(chaos.legal());
+    const RunReport rep =
+        runChaosTask(cfg, chaos, WatchdogConfig{200'000, 0, 0}, scanWriter(),
+                     test::distinctProposals(4));
+    ASSERT_EQ(rep.verdict, RunVerdict::kAxiomViolation)
+        << "seed " << seed << ": " << sim::runVerdictName(rep.verdict) << " "
+        << rep.detail;
+    EXPECT_NE(rep.detail.find("stale-scan"), std::string::npos) << rep.detail;
+  }
+}
+
+TEST(StaleView, Fig1SafetyAndReplayAreUnaffected) {
+  // Fig. 1's k-converge rounds scan snapshots; serving request-time views
+  // must keep k-set agreement intact, and the whole perturbed run must
+  // replay bit-identically per seed (the chaos debuggability contract).
+  const int n_plus_1 = 4;
+  const auto props = test::distinctProposals(n_plus_1);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    RunConfig cfg;
+    cfg.n_plus_1 = n_plus_1;
+    cfg.fp = FailurePattern::withCrashes(n_plus_1, {{n_plus_1 - 1, 50}});
+    cfg.fd = fd::makeUpsilon(*cfg.fp, ProcSet::full(n_plus_1), 300, seed);
+    cfg.seed = seed;
+    ChaosConfig chaos;
+    chaos.seed = seed;
+    chaos.stale_snapshot = StaleSnapshot{/*permille=*/600, seed, false};
+    const auto algo = [](Env& e, Value v) { return upsilonSetAgreement(e, v); };
+    const RunReport a = runChaosTask(
+        cfg, chaos, WatchdogConfig{3'000'000, 0, n_plus_1 - 1}, algo, props);
+    ASSERT_EQ(a.verdict, RunVerdict::kOk) << "seed " << seed << ": " << a.detail;
+    const auto check = checkKSetAgreement(a.result, n_plus_1 - 1, props);
+    EXPECT_TRUE(check.ok()) << "seed " << seed << ": " << check.violation;
+    const RunReport b = runChaosTask(
+        cfg, chaos, WatchdogConfig{3'000'000, 0, n_plus_1 - 1}, algo, props);
+    EXPECT_EQ(a.result.trace().hash64(), b.result.trace().hash64())
+        << "seed " << seed << ": stale-snapshot runs must replay";
+  }
+}
+
+TEST(StaleView, DisabledInjectorNeverCapturesOrFlags) {
+  // permille = 0 disables the injector entirely even when the struct is
+  // present — no overrides, no captures, trivially clean.
+  RunConfig cfg;
+  cfg.n_plus_1 = 3;
+  cfg.seed = 9;
+  ChaosConfig off;
+  off.stale_snapshot = StaleSnapshot{0, 9, false};
+  ASSERT_TRUE(off.legal());
+  const RunReport rep =
+      runChaosTask(cfg, off, WatchdogConfig{100'000, 0, 0}, scanWriter(4),
+                   test::distinctProposals(3));
+  EXPECT_EQ(rep.verdict, RunVerdict::kOk) << rep.detail;
+}
+
+}  // namespace
+}  // namespace wfd

@@ -132,6 +132,22 @@ RULES = [
         "ambient wall-clock state; simulated logical time is World::now()",
     ),
     (
+        "wall-clock-type",
+        # Any MENTION of a wall-clock type anywhere in src/ — not just
+        # ::now() calls. `using Clock = std::chrono::steady_clock;` would
+        # dodge the chrono-clock-now regex while smuggling ambient time
+        # into simulation code; with the net substrate (src/sim/net) every
+        # timer must be driven by the simulated clock, so the types
+        # themselves are banned in the library. Host-side instrumentation
+        # (worker busy-time in sim/batch.cc) opts out per line with a
+        # model-lint-allow annotation.
+        re.compile(r"std::chrono::(?:system_clock|steady_clock|high_resolution_clock)"),
+        "wall-clock types are banned in the library: all time must come "
+        "from the simulated clock (World::now(), NetWorld ticks); "
+        "host-side measurement code must annotate with model-lint-allow",
+        ALL_SRC_DIRS,
+    ),
+    (
         "unordered-iter",
         re.compile(r"std::unordered_(?:map|set|multimap|multiset)"),
         "iteration order of unordered containers is address/seed dependent "
@@ -314,6 +330,7 @@ VIOLATING_SNIPPETS = {
     "random-device": "std::random_device rd;\nauto s = rd();\n",
     "wall-clock-time": "long stamp() { return time(nullptr); }\n",
     "chrono-clock-now": "auto t0 = std::chrono::steady_clock::now();\n",
+    "wall-clock-type": "using Clock = std::chrono::steady_clock;\n",
     "unordered-iter": "std::unordered_map<int, int> seen;\n",
     "direct-world": "void rogue(Env& env) { env.world()->objects(); }\n",
     "fp-mutation": "void rogue(World& w) { w.injectCrash(2); }\n",
