@@ -123,7 +123,15 @@ int main(int argc, char** argv) {
   }
 
   // Ground truth: the serial pass every mode must reproduce exactly.
-  const sim::BatchRunner serial(sim::BatchOptions{1});
+  auto optionsFor = [&](int run_jobs, bool steal,
+                        sim::ReportCache* cache = nullptr) {
+    sim::BatchOptions o;
+    o.jobs = run_jobs;
+    o.steal = steal;
+    o.memo = cache;
+    return o;
+  };
+  const sim::BatchRunner serial(optionsFor(1, true));
   const auto truth = serial.run(cells);
 
   auto certify = [&](const std::vector<CellResult>& got, const char* mode) {
@@ -153,9 +161,9 @@ int main(int argc, char** argv) {
   BatchStats static_stats;
   BatchStats steal_stats;
   const double static_s =
-      bestOf(sim::BatchOptions{jobs, /*steal=*/false}, "static", static_stats);
+      bestOf(optionsFor(jobs, /*steal=*/false), "static", static_stats);
   const double steal_s =
-      bestOf(sim::BatchOptions{jobs, /*steal=*/true}, "steal", steal_stats);
+      bestOf(optionsFor(jobs, /*steal=*/true), "steal", steal_stats);
   const double wall_speedup = steal_s > 0 ? static_s / steal_s : 0;
   const double makespan_speedup =
       steal_stats.stepMakespan() > 0
@@ -177,8 +185,7 @@ int main(int argc, char** argv) {
                 "the warm phase measures audited re-execution, not hits\n");
   }
   sim::ReportCache cache;
-  const sim::BatchOptions memo_opts{jobs, /*steal=*/true, &cache};
-  const sim::BatchRunner memo_runner(memo_opts);
+  const sim::BatchRunner memo_runner(optionsFor(jobs, /*steal=*/true, &cache));
   BatchStats cold_stats;
   certify(memo_runner.run(cells, &cold_stats), "memo-cold");
   double warm_s = -1;

@@ -595,6 +595,9 @@ int main(int argc, char** argv) {
     json.metric("stolen_cells", static_cast<double>(pool.stolen_cells));
     json.metric("memo_hits", static_cast<double>(pool.memo_hits));
     json.metric("memo_misses", static_cast<double>(pool.memo_misses));
+    // Per-worker shape of the soak's final batch (the campaign-wide sums
+    // stay in the pool_* metrics above).
+    bench::emitBatchStats(json, "last_batch", pool.last);
     json.metric("wall_s", wall_s);
     json.metric("total_runs", total_runs);
     json.metric("total_steps", static_cast<double>(total_steps));

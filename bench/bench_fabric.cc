@@ -1,0 +1,297 @@
+// E20: distributed campaign fabric + persistent result store
+// (BENCH_fabric.json).
+//
+// The E17-shaped heavy-tailed campaign — a cluster of watched Fig. 3
+// extraction cells ~100x the median Fig. 1 chaos cell, packed at the
+// FRONT of the submission order — now sharded across worker PROCESSES
+// (sim/fabric/fabric.h) instead of threads:
+//
+//   * static per-process ranges (--no-steal shape): the whole heavy
+//     cluster lands in process 0's range, the adversarial baseline;
+//   * block stealing (the default): a drained process takes the back
+//     half of the most-loaded peer's queued blocks, so the tail spreads.
+//
+// Balance is gated on STEP utilization (sum of per-process simulation
+// steps over procs x max), the deterministic, hardware-independent
+// makespan measure — wall-clock cannot show balance on the single-core
+// CI host, step counts can. The persistent phase then wipes a cache
+// directory, runs the campaign cold (filling the store through each
+// worker's ReportCache), and reruns it with FRESH processes: every
+// cacheable cell must come back from disk (hit rate 1.00), and in full
+// mode the warm rerun must beat the cold one by >= 50x wall. Every
+// phase certifies its results cell-by-cell against the serial jobs=1
+// pass first — no speedup is reported for wrong answers.
+#include <filesystem>
+
+#include "bench_util.h"
+
+namespace wfd {
+namespace {
+
+using sim::BatchCell;
+using sim::BatchStats;
+using sim::CellResult;
+using sim::CrashInjection;
+using sim::Env;
+using sim::FailurePattern;
+using sim::GlitchKind;
+using sim::WatchdogConfig;
+using sim::fabric::FabricOptions;
+using sim::fabric::runFabric;
+
+int g_failures = 0;
+
+void require(bool ok, const std::string& what) {
+  if (!ok) {
+    std::printf("  FAILURE: %s\n", what.c_str());
+    ++g_failures;
+  }
+}
+
+// Light cell: one Fig. 1 chaos run, a few thousand steps.
+BatchCell lightCell(std::uint64_t seed) {
+  const int n_plus_1 = 4;
+  BatchCell cell;
+  cell.cfg.n_plus_1 = n_plus_1;
+  cell.cfg.fp = FailurePattern::withCrashes(n_plus_1, {{n_plus_1 - 1, 60}});
+  cell.cfg.fd =
+      fd::makeUpsilon(*cell.cfg.fp, ProcSet::full(n_plus_1), /*stab=*/250,
+                      seed);
+  cell.cfg.seed = seed;
+  sim::ChaosConfig chaos;
+  chaos.seed = seed;
+  chaos.max_faulty = 2;
+  chaos.glitch = {GlitchKind::kScrambleNoise, 0, seed * 31};
+  chaos.crashes.push_back({CrashInjection::Strategy::kRandom, -1, 0,
+                           /*horizon=*/900, /*count=*/1, seed * 7});
+  cell.chaos = chaos;
+  cell.watchdog = WatchdogConfig{3'000'000, 0, 3};
+  cell.algo = [](Env& e, Value v) { return core::upsilonSetAgreement(e, v); };
+  cell.proposals = {100, 101, 102, 103};
+  cell.memo_family = "bf-light";
+  return cell;
+}
+
+// Heavy cell: a watched Fig. 3 extraction that runs its whole budget.
+BatchCell heavyCell(std::uint64_t seed, Time budget) {
+  const int n_plus_1 = 4;
+  BatchCell cell;
+  cell.cfg.n_plus_1 = n_plus_1;
+  cell.cfg.fp = FailurePattern::withCrashes(n_plus_1, {{3, 60}});
+  cell.cfg.fd = fd::makeOmega(*cell.cfg.fp, /*stab=*/120, seed);
+  cell.cfg.seed = seed;
+  cell.cfg.max_steps = budget + 10;
+  const auto phi = core::phiOmegaK(n_plus_1);
+  cell.algo = [phi](Env& e, Value) { return core::extractUpsilonF(e, phi); };
+  cell.proposals = std::vector<Value>(4, 0);
+  cell.watchdog = WatchdogConfig{budget, 0, 0};
+  cell.memo_family = "bf-heavy";
+  return cell;
+}
+
+bool sameResult(const CellResult& x, const CellResult& y) {
+  return x.index == y.index && x.verdict == y.verdict && x.error == y.error &&
+         x.steps == y.steps && x.decisions == y.decisions &&
+         x.trace_hash == y.trace_hash;
+}
+
+}  // namespace
+}  // namespace wfd
+
+int main(int argc, char** argv) {
+  using namespace wfd;
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  const int procs = args.procs > 1 ? args.procs : 2;
+  const int jobs = args.jobs > 0 ? args.jobs : 2;
+  const int reps = args.quick ? 3 : 3;
+  const int heavy_cells = args.quick ? 6 : 16;
+  const int light_cells = args.quick ? 90 : 400;
+  const Time heavy_budget = args.quick ? 60'000 : 120'000;
+  const std::string cache_dir =
+      args.cache_dir.empty() ? "bench_fabric_cache" : args.cache_dir;
+
+  std::printf("\n=== E20 — campaign fabric + persistent store (procs=%d, "
+              "jobs=%d/proc, %d heavy + %d light cells) ===\n",
+              procs, jobs, heavy_cells, light_cells);
+
+  // Heavy cluster FIRST: contiguous range dealing gives process 0 the
+  // whole cluster, the adversarial case for static sharding.
+  std::vector<BatchCell> cells;
+  cells.reserve(static_cast<std::size_t>(heavy_cells + light_cells));
+  for (int i = 0; i < heavy_cells; ++i) {
+    cells.push_back(heavyCell(static_cast<std::uint64_t>(i) + 1, heavy_budget));
+  }
+  for (int i = 0; i < light_cells; ++i) {
+    cells.push_back(lightCell(static_cast<std::uint64_t>(i) + 1));
+  }
+
+  sim::BatchOptions serial_opts;
+  serial_opts.jobs = 1;
+  const auto truth = sim::BatchRunner(serial_opts).run(cells);
+
+  auto certify = [&](const std::vector<CellResult>& got, const char* mode) {
+    bool same = got.size() == truth.size();
+    for (std::size_t i = 0; same && i < truth.size(); ++i) {
+      same = sameResult(truth[i], got[i]);
+    }
+    require(same, std::string(mode) + " results differ from the serial pass");
+  };
+
+  FabricOptions base;
+  base.procs = procs;
+  base.batch.jobs = jobs;
+  // One cell per block: the finest deterministic granularity, so the
+  // worst-case process imbalance is a single heavy cell, not a cluster
+  // of them — the per-assignment round-trip is microseconds against
+  // multi-millisecond cells.
+  base.block = 1;
+
+  // Phase 1: balance. Static ranges vs block stealing, best-of-N wall;
+  // step utilization is identical across reps (the schedule's step
+  // counts are deterministic given the assignment order is).
+  auto bestOf = [&](const FabricOptions& opts, const char* mode,
+                    BatchStats& best_stats) {
+    double best = -1;
+    for (int r = 0; r < reps; ++r) {
+      BatchStats stats;
+      certify(runFabric(opts, cells, &stats), mode);
+      if (best < 0 || stats.wall_s < best) {
+        best = stats.wall_s;
+        best_stats = stats;
+      }
+    }
+    return best;
+  };
+
+  FabricOptions static_opts = base;
+  static_opts.steal = false;
+  BatchStats static_stats;
+  const double static_s = bestOf(static_opts, "static", static_stats);
+  BatchStats steal_stats;
+  const double steal_s = bestOf(base, "steal", steal_stats);
+
+  const double util_static = static_stats.stepUtilization();
+  const double util_steal = steal_stats.stepUtilization();
+  require(util_steal >= 0.9,
+          "block stealing balances the heavy tail (step utilization " +
+              bench::fmt(util_steal) + " < 0.90)");
+
+  // Phase 2: the persistent store. Wipe the directory, run cold (store
+  // fills through each worker's memo), then rerun with fresh processes.
+  // Under --keep-cache the wipe is skipped and the "cold" pass must
+  // instead warm ENTIRELY from a previous invocation's store — the CI
+  // restart gate: persistence across real process exits, not just forks.
+  if (!args.keep_cache) std::filesystem::remove_all(cache_dir);
+  std::size_t cacheable = 0;
+  for (const auto& cell : cells) {
+    cacheable += sim::cellKey(cell).has_value() ? 1u : 0u;
+  }
+  if (cacheable == 0) {
+    std::printf("note: no memo-eligible cells (WFD_AUDIT latch active?) — "
+                "the warm phase measures audited re-execution, not hits\n");
+  }
+  FabricOptions store_opts = base;
+  store_opts.batch.memo_capacity = args.cache_cap;
+  store_opts.batch.cache_dir = cache_dir;
+  store_opts.batch.cache_version = bench::BenchArgs::gitSha();
+
+  BatchStats cold_stats;
+  certify(runFabric(store_opts, cells, &cold_stats), "store-cold");
+  const double cold_s = cold_stats.wall_s;
+  if (args.keep_cache) {
+    require(cold_stats.memo_hits == cacheable &&
+                cold_stats.disk_hits == cacheable,
+            "--keep-cache rerun warmed every cacheable cell from the "
+            "previous invocation's store (" +
+                std::to_string(cold_stats.disk_hits) + "/" +
+                std::to_string(cacheable) + " from disk)");
+  } else {
+    require(cold_stats.memo_hits == 0, "cold pass took no memo hits");
+  }
+
+  double warm_s = -1;
+  BatchStats warm_stats;
+  for (int r = 0; r < reps; ++r) {
+    BatchStats stats;
+    certify(runFabric(store_opts, cells, &stats), "store-warm");
+    if (warm_s < 0 || stats.wall_s < warm_s) {
+      warm_s = stats.wall_s;
+      warm_stats = stats;
+    }
+  }
+  const double warm_speedup = warm_s > 0 ? cold_s / warm_s : 0;
+  const double hit_rate =
+      warm_stats.memo_hits + warm_stats.memo_misses > 0
+          ? static_cast<double>(warm_stats.memo_hits) /
+                static_cast<double>(warm_stats.memo_hits +
+                                    warm_stats.memo_misses)
+          : 0;
+  require(warm_stats.memo_hits == cacheable,
+          "warm fabric answered every cacheable cell from the store (" +
+              std::to_string(warm_stats.memo_hits) + "/" +
+              std::to_string(cacheable) + ")");
+  require(warm_stats.disk_hits == cacheable,
+          "warm hits came from DISK across fresh processes (" +
+              std::to_string(warm_stats.disk_hits) + "/" +
+              std::to_string(cacheable) + ")");
+  if (!args.quick && cacheable > 0 && !args.keep_cache) {
+    // Only gated in full mode (the quick campaign's cold pass is short
+    // enough that fork + store setup overhead blurs the ratio) and only
+    // against a genuinely cold baseline (--keep-cache warms both sides).
+    require(warm_speedup >= 50,
+            "warm persistent rerun >= 50x faster than cold (" +
+                bench::fmt(warm_speedup) + "x)");
+  }
+
+  bench::Table t({"mode", "wall s", "step util", "proc steals", "memo hits",
+                  "disk hits"});
+  auto statsRow = [&](const char* mode, double wall, const BatchStats& s) {
+    t.addRow({mode, bench::fmt(wall), bench::fmt(s.stepUtilization()),
+              bench::fmt(static_cast<int>(s.proc_steal_ops)),
+              bench::fmt(static_cast<int>(s.memo_hits)),
+              bench::fmt(static_cast<int>(s.disk_hits))});
+  };
+  statsRow("static ranges", static_s, static_stats);
+  statsRow("block steal", steal_s, steal_stats);
+  statsRow("store cold", cold_s, cold_stats);
+  statsRow("store warm", warm_s, warm_stats);
+  t.print();
+  std::printf("step utilization: static %.2f -> steal %.2f (procs=%d)\n",
+              util_static, util_steal, procs);
+  std::printf("warm persistent rerun vs cold: %.1fx wall, hit rate %.2f\n",
+              warm_speedup, hit_rate);
+
+  const std::string json_path =
+      args.json_path.empty() ? "BENCH_fabric.json" : args.json_path;
+  bench::JsonWriter json("bench_fabric", jobs);
+  json.note("mode", args.quick ? "quick" : "full");
+  json.note("cache_dir", cache_dir);
+  json.note("keep_cache", args.keep_cache ? "yes" : "no");
+  json.metric("procs", procs);
+  json.metric("reps_best_of", reps);
+  json.metric("heavy_cells", heavy_cells);
+  json.metric("light_cells", light_cells);
+  json.metric("wall_static_s", static_s);
+  json.metric("wall_steal_s", steal_s);
+  json.metric("wall_store_cold_s", cold_s);
+  json.metric("wall_store_warm_s", warm_s);
+  json.metric("warm_speedup_wall", warm_speedup);
+  json.metric("warm_hit_rate", hit_rate);
+  json.metric("memo_eligible_cells", static_cast<double>(cacheable));
+  json.metric("step_utilization_static", util_static);
+  json.metric("step_utilization_steal", util_steal);
+  bench::emitBatchStats(json, "static", static_stats);
+  bench::emitBatchStats(json, "steal", steal_stats);
+  bench::emitBatchStats(json, "cold", cold_stats);
+  bench::emitBatchStats(json, "warm", warm_stats);
+  json.metric("failures", g_failures);
+  json.write(json_path);
+
+  if (g_failures > 0) {
+    std::printf("\nbench_fabric FAILED: %d finding(s)\n", g_failures);
+    return 1;
+  }
+  std::puts("\nbench_fabric passed: fabric and store reproduce the serial "
+            "results");
+  return 0;
+}

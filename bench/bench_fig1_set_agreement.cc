@@ -100,7 +100,7 @@ Agg aggregate(const std::vector<CellResult>& results, std::size_t from,
 int main(int argc, char** argv) {
   using namespace wfd;
   const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
-  const sim::BatchRunner runner(sim::BatchOptions{args.jobs});
+  const sim::BatchRunner runner(args.batchOptions());
   std::printf(
       "\n=== E1/E5 — Fig. 1: Upsilon-based n-set-agreement (Theorem 2), "
       "%d seeds per row, jobs=%d ===\n",
@@ -133,12 +133,15 @@ int main(int argc, char** argv) {
   // generator runs on the workers; the FdCache it shares locks internally.
   sim::FdCache fds;
   const bench::WallTimer wall;
+  sim::BatchStats batch_stats;
   const auto results = runner.run(
-      rows.size() * kSeeds, [&rows, &fds](std::size_t i) {
+      rows.size() * kSeeds,
+      [&rows, &fds](std::size_t i) {
         const Row& r = rows[i / kSeeds];
         const std::uint64_t seed = static_cast<std::uint64_t>(i % kSeeds) + 1;
         return makeCell(r, seed, fds);
-      });
+      },
+      &batch_stats);
   const double wall_s = wall.seconds();
 
   Table t({"n+1", "schedule", "stab(Upsilon)", "crashes<=", "snapshot",
@@ -176,6 +179,7 @@ int main(int argc, char** argv) {
     json.metric("wall_s", wall_s);
     json.metric("cells", static_cast<double>(results.size()));
     json.metric("steps_per_s", wall_s > 0 ? total_steps / wall_s : 0.0);
+    bench::emitBatchStats(json, "batch", batch_stats);
     json.write(args.json_path);
   }
   std::puts("Claim reproduced if every row PASSes: Upsilon + registers solve");

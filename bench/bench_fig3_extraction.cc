@@ -180,11 +180,8 @@ int main(int argc, char** argv) {
     json.note("memo", args.memo ? "on" : "off");
     json.metric("wall_s", wall_s);
     json.metric("cells", static_cast<double>(results.size()));
-    json.metric("steal_ops", static_cast<double>(stats.steal_ops));
-    json.metric("stolen_cells", static_cast<double>(stats.stolen_cells));
-    json.metric("memo_hits", static_cast<double>(stats.memo_hits));
-    json.metric("memo_misses", static_cast<double>(stats.memo_misses));
     json.metric("all_rows_ok", all_rows_ok ? 1 : 0);
+    bench::emitBatchStats(json, "batch", stats);
     json.write(args.json_path);
   }
 

@@ -154,7 +154,8 @@ SectionStats substrateGrid(int seeds_per_cell) {
 // ---- section B: the realized-history certification campaign --------------
 
 SectionStats certifyCampaign(int seeds_per_cell, const sim::BatchOptions& opts,
-                             FdCache& cache) {
+                             FdCache& cache,
+                             sim::BatchStats* batch_stats = nullptr) {
   const bench::WallTimer wall;
   const auto pats = patterns();
   struct LensRow {
@@ -214,7 +215,7 @@ SectionStats certifyCampaign(int seeds_per_cell, const sim::BatchOptions& opts,
       }
     }
   }
-  const auto results = driveWatchedBatch(cells, opts);
+  const auto results = driveWatchedBatch(cells, opts, batch_stats);
   SectionStats s;
   s.runs = static_cast<int>(results.size());
   for (const CellResult& r : results) {
@@ -370,7 +371,9 @@ int main(int argc, char** argv) {
   const bench::WallTimer wall;
   FdCache cache;
   const SectionStats sub = substrateGrid(grid_seeds);
-  const SectionStats cert = certifyCampaign(certify_seeds, opts, cache);
+  sim::BatchStats cert_batch;
+  const SectionStats cert =
+      certifyCampaign(certify_seeds, opts, cache, &cert_batch);
   const SectionStats neg = negativeControls(neg_seeds, opts, cache);
   const SectionStats fig = figuresOnRealized(fig_seeds, cache);
   const double wall_s = wall.seconds();
@@ -413,6 +416,7 @@ int main(int argc, char** argv) {
     section("figures_realized", fig);
     json.metric("fd_cache_histories", static_cast<double>(cache.size()));
     json.metric("fd_cache_hits", static_cast<double>(cache.hits()));
+    bench::emitBatchStats(json, "certify_batch", cert_batch);
     if (!json.write(args.json_path)) ++g_failures;
   }
 

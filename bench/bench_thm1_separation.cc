@@ -96,6 +96,15 @@ void easyDirection(const bench::BenchArgs& args) {
               "misses; utilization %.2f\n",
               stats.steal_ops, stats.stolen_cells, stats.memo_hits,
               stats.memo_misses, stats.utilization());
+  if (!args.json_path.empty()) {
+    bench::JsonWriter json("bench_thm1_separation", runner.jobs());
+    json.note("memo", args.memo ? "on" : "off");
+    bool all_ok = true;
+    for (const CellResult& r : results) all_ok = all_ok && r.ok();
+    json.metric("easy_direction_all_ok", all_ok ? 1.0 : 0.0);
+    bench::emitBatchStats(json, "batch", stats);
+    json.write(args.json_path);
+  }
 }
 
 void hardDirectionChase() {

@@ -101,6 +101,16 @@ long long BatchStats::stepMakespan() const {
   return makespan;
 }
 
+double BatchStats::stepUtilization() const {
+  const long long makespan = stepMakespan();
+  if (makespan <= 0 || steps_run.empty()) return 0;
+  long long total = 0;
+  for (const long long s : steps_run) total += s;
+  return static_cast<double>(total) /
+         (static_cast<double>(makespan) *
+          static_cast<double>(steps_run.size()));
+}
+
 int resolveJobs(int jobs) {
   if (jobs > 0) return jobs;
   const unsigned hw = std::thread::hardware_concurrency();

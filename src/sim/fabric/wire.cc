@@ -1,0 +1,241 @@
+#include "sim/fabric/wire.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace wfd::sim::fabric {
+
+namespace {
+
+// Hard ceilings a malformed (or corrupted) buffer cannot talk us past:
+// no frame, string, or container in this protocol legitimately reaches
+// these sizes, so hitting one means the bytes are garbage.
+constexpr std::uint32_t kMaxFrameBytes = 1u << 30;
+constexpr std::uint64_t kMaxStringBytes = 1u << 24;
+constexpr std::uint64_t kMaxContainerItems = 1u << 24;
+
+}  // namespace
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  u64(bits);
+}
+
+void ByteWriter::str(const std::string& s) {
+  u64(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+bool ByteReader::take(std::size_t n) {
+  if (!ok_ || size_ - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t ByteReader::u8() {
+  if (!take(1)) return 0;
+  return data_[pos_++];
+}
+
+std::uint32_t ByteReader::u32() {
+  if (!take(4)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  if (!take(8)) return 0;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+double ByteReader::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::string ByteReader::str() {
+  const std::uint64_t len = u64();
+  if (len > kMaxStringBytes || !take(static_cast<std::size_t>(len))) {
+    ok_ = false;
+    return {};
+  }
+  std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                static_cast<std::size_t>(len));
+  pos_ += static_cast<std::size_t>(len);
+  return s;
+}
+
+void encodeCellResult(ByteWriter& w, const CellResult& r) {
+  w.u64(r.index);
+  w.u8(static_cast<std::uint8_t>(r.verdict));
+  w.str(r.detail);
+  w.u8(r.error ? 1 : 0);
+  w.u8(r.all_correct_done ? 1 : 0);
+  w.i64(r.steps);
+  w.i64(r.distinct_decisions);
+  w.u64(r.decisions.size());
+  for (const auto& [pid, value] : r.decisions) {
+    w.i64(pid);
+    w.i64(value);
+  }
+  w.u64(r.trace_hash);
+  w.u8(r.check_ok ? 1 : 0);
+  w.str(r.check_detail);
+  w.u64(r.metrics.size());
+  for (const auto& [key, value] : r.metrics) {
+    w.str(key);
+    w.f64(value);
+  }
+}
+
+bool decodeCellResult(ByteReader& rd, CellResult& out) {
+  out = CellResult{};
+  out.index = static_cast<std::size_t>(rd.u64());
+  const std::uint8_t verdict = rd.u8();
+  if (verdict > static_cast<std::uint8_t>(RunVerdict::kLivelock)) {
+    rd.fail();
+    return false;
+  }
+  out.verdict = static_cast<RunVerdict>(verdict);
+  out.detail = rd.str();
+  out.error = rd.u8() != 0;
+  out.all_correct_done = rd.u8() != 0;
+  out.steps = rd.i64();
+  out.distinct_decisions = static_cast<int>(rd.i64());
+  const std::uint64_t n_decisions = rd.u64();
+  if (n_decisions > kMaxContainerItems) rd.fail();
+  for (std::uint64_t i = 0; rd.ok() && i < n_decisions; ++i) {
+    const Pid pid = static_cast<Pid>(rd.i64());
+    const Value value = rd.i64();
+    out.decisions.emplace(pid, value);
+  }
+  out.trace_hash = rd.u64();
+  out.check_ok = rd.u8() != 0;
+  out.check_detail = rd.str();
+  const std::uint64_t n_metrics = rd.u64();
+  if (n_metrics > kMaxContainerItems) rd.fail();
+  for (std::uint64_t i = 0; rd.ok() && i < n_metrics; ++i) {
+    std::string key = rd.str();
+    const double value = rd.f64();
+    out.metrics.emplace(std::move(key), value);
+  }
+  return rd.ok();
+}
+
+void encodeBlockReport(ByteWriter& w, const BlockReport& rep) {
+  w.u64(rep.begin);
+  w.u64(rep.end);
+  w.i64(rep.steps);
+  w.f64(rep.busy_s);
+  w.u64(rep.steal_ops);
+  w.u64(rep.stolen_cells);
+  w.u64(rep.memo_hits);
+  w.u64(rep.memo_misses);
+  w.u64(rep.disk_hits);
+  w.u64(rep.disk_misses);
+  w.u64(rep.results.size());
+  for (const CellResult& r : rep.results) encodeCellResult(w, r);
+}
+
+bool decodeBlockReport(ByteReader& rd, BlockReport& out) {
+  out = BlockReport{};
+  out.begin = rd.u64();
+  out.end = rd.u64();
+  out.steps = rd.i64();
+  out.busy_s = rd.f64();
+  out.steal_ops = rd.u64();
+  out.stolen_cells = rd.u64();
+  out.memo_hits = rd.u64();
+  out.memo_misses = rd.u64();
+  out.disk_hits = rd.u64();
+  out.disk_misses = rd.u64();
+  const std::uint64_t n = rd.u64();
+  if (n > kMaxContainerItems) rd.fail();
+  out.results.reserve(rd.ok() ? static_cast<std::size_t>(n) : 0);
+  for (std::uint64_t i = 0; rd.ok() && i < n; ++i) {
+    CellResult r;
+    if (!decodeCellResult(rd, r)) return false;
+    out.results.push_back(std::move(r));
+  }
+  return rd.ok();
+}
+
+namespace {
+
+// Full-buffer send/recv with EINTR retry. MSG_NOSIGNAL turns a dead
+// peer into an EPIPE return instead of a process-killing SIGPIPE.
+bool sendAll(int fd, const std::uint8_t* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool recvAll(int fd, std::uint8_t* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t r = ::recv(fd, data + off, n - off, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;  // EOF mid-frame: peer died
+    off += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool writeFrame(int fd, MsgType type, const std::vector<std::uint8_t>& payload) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  std::uint8_t header[5];
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) header[i] = static_cast<std::uint8_t>(len >> (8 * i));
+  header[4] = static_cast<std::uint8_t>(type);
+  if (!sendAll(fd, header, sizeof header)) return false;
+  return payload.empty() || sendAll(fd, payload.data(), payload.size());
+}
+
+bool readFrame(int fd, MsgType* type, std::vector<std::uint8_t>* payload) {
+  std::uint8_t header[5];
+  if (!recvAll(fd, header, sizeof header)) return false;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+  if (len > kMaxFrameBytes) return false;
+  const std::uint8_t t = header[4];
+  if (t < static_cast<std::uint8_t>(MsgType::kAssign) ||
+      t > static_cast<std::uint8_t>(MsgType::kShutdown)) {
+    return false;
+  }
+  *type = static_cast<MsgType>(t);
+  payload->resize(len);
+  return len == 0 || recvAll(fd, payload->data(), len);
+}
+
+}  // namespace wfd::sim::fabric

@@ -1,5 +1,7 @@
 #include "sim/report_cache.h"
 
+#include "sim/fabric/store.h"
+
 namespace wfd::sim {
 
 namespace {
@@ -101,14 +103,29 @@ std::optional<std::uint64_t> cellKey(const BatchCell& cell) {
   return h;
 }
 
-ReportCache::ReportCache(std::size_t capacity)
-    : capacity_(capacity == 0 ? 1 : capacity) {}
+ReportCache::ReportCache(std::size_t capacity,
+                         std::unique_ptr<ResultStore> store)
+    : capacity_(capacity == 0 ? 1 : capacity), store_(std::move(store)) {}
 
 std::optional<CellResult> ReportCache::lookup(std::uint64_t key,
                                               std::size_t index) {
   const std::lock_guard<std::mutex> lock(mu_);
   const auto it = map_.find(key);
   if (it == map_.end()) {
+    if (store_ != nullptr) {
+      // Second level: the persistent store. A disk hit is still a cache
+      // hit (the caller skips the run); it also warms the LRU so repeat
+      // lookups in this process stay in memory.
+      if (std::optional<CellResult> stored = store_->load(key);
+          stored.has_value()) {
+        ++hits_;
+        ++disk_hits_;
+        insertLocked(key, *stored, /*persisted=*/true);
+        stored->index = index;
+        return stored;
+      }
+      ++disk_misses_;
+    }
     ++misses_;
     return std::nullopt;
   }
@@ -121,6 +138,11 @@ std::optional<CellResult> ReportCache::lookup(std::uint64_t key,
 
 void ReportCache::insert(std::uint64_t key, const CellResult& result) {
   const std::lock_guard<std::mutex> lock(mu_);
+  insertLocked(key, result, /*persisted=*/false);
+}
+
+void ReportCache::insertLocked(std::uint64_t key, const CellResult& result,
+                               bool persisted) {
   const auto it = map_.find(key);
   if (it != map_.end()) {
     // Concurrent workers may both miss and both run the cell; the recipes
@@ -135,7 +157,12 @@ void ReportCache::insert(std::uint64_t key, const CellResult& result) {
     ++evictions_;
   }
   lru_.push_front(key);
-  map_.emplace(key, Entry{result, lru_.begin()});
+  map_.emplace(key, Entry{result, lru_.begin(), persisted});
+  if (!persisted && store_ != nullptr) {
+    // Fresh result: make it durable. The store dedupes keys internally,
+    // so a re-inserted eviction victim costs an index probe, not bytes.
+    store_->save(key, result);
+  }
 }
 
 std::size_t ReportCache::hits() const {
@@ -156,6 +183,30 @@ std::size_t ReportCache::evictions() const {
 std::size_t ReportCache::size() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return map_.size();
+}
+
+std::size_t ReportCache::diskHits() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return disk_hits_;
+}
+
+std::size_t ReportCache::diskMisses() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return disk_misses_;
+}
+
+std::unique_ptr<ReportCache> makeMemo(const BatchOptions& opts) {
+  std::unique_ptr<ResultStore> store;
+  if (!opts.cache_dir.empty()) {
+    fabric::StoreOptions so;
+    so.dir = opts.cache_dir;
+    so.version = opts.cache_version;
+    store = std::make_unique<fabric::PersistentStore>(so);
+  }
+  const std::size_t cap = opts.memo_capacity == 0
+                              ? ReportCache::kDefaultCapacity
+                              : opts.memo_capacity;
+  return std::make_unique<ReportCache>(cap, std::move(store));
 }
 
 }  // namespace wfd::sim

@@ -31,6 +31,7 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -43,11 +44,27 @@ namespace wfd::sim {
 // the cell is uncacheable (empty memo_family, opaque detector, audited).
 [[nodiscard]] std::optional<std::uint64_t> cellKey(const BatchCell& cell);
 
+// Durable second level below the in-memory LRU. The production
+// implementation is fabric::PersistentStore (sim/fabric/store.h) — an
+// append-only, checksummed, version-stamped segment file shared between
+// worker processes; the interface keeps report_cache free of any
+// filesystem dependency. Contract: load() returns the exact CellResult
+// save() stored for that key, or nullopt — NEVER a wrong or partial
+// result (corruption must degrade to a miss) — and both calls must be
+// thread-safe.
+class ResultStore {
+ public:
+  virtual ~ResultStore() = default;
+  [[nodiscard]] virtual std::optional<CellResult> load(std::uint64_t key) = 0;
+  virtual void save(std::uint64_t key, const CellResult& result) = 0;
+};
+
 class ReportCache {
  public:
   static constexpr std::size_t kDefaultCapacity = 4096;
 
-  explicit ReportCache(std::size_t capacity = kDefaultCapacity);
+  explicit ReportCache(std::size_t capacity = kDefaultCapacity,
+                       std::unique_ptr<ResultStore> store = nullptr);
 
   // The stored result with `index` rewritten to the caller's submission
   // slot, or nullopt on miss. Refreshes LRU recency on hit.
@@ -65,20 +82,40 @@ class ReportCache {
   [[nodiscard]] std::size_t evictions() const;
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  // Hits answered by the persistent store (a subset of hits()): an
+  // in-memory miss that the ResultStore satisfied. disk_misses counts
+  // eligible lookups that fell through both levels.
+  [[nodiscard]] std::size_t diskHits() const;
+  [[nodiscard]] std::size_t diskMisses() const;
+  [[nodiscard]] const ResultStore* store() const { return store_.get(); }
 
  private:
   struct Entry {
     CellResult result;
     std::list<std::uint64_t>::iterator lru_it;  // position in lru_
+    bool persisted = false;  // already in the store; never re-append
   };
+
+  void insertLocked(std::uint64_t key, const CellResult& result,
+                    bool persisted);
 
   mutable std::mutex mu_;
   std::size_t capacity_;
+  std::unique_ptr<ResultStore> store_;  // optional durable second level
   std::list<std::uint64_t> lru_;  // front = most recent, back = next victim
   std::unordered_map<std::uint64_t, Entry> map_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
   std::size_t evictions_ = 0;
+  std::size_t disk_hits_ = 0;
+  std::size_t disk_misses_ = 0;
 };
+
+// Build the memo a BatchOptions describes: capacity from memo_capacity
+// (0 = kDefaultCapacity) and, when cache_dir is non-empty, a
+// fabric::PersistentStore backing stamped with cache_version. Whether to
+// ATTACH the cache stays the caller's call (BatchOptions::memo for the
+// in-process runner; the fabric builds one per worker process).
+[[nodiscard]] std::unique_ptr<ReportCache> makeMemo(const BatchOptions& opts);
 
 }  // namespace wfd::sim

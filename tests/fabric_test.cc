@@ -1,0 +1,352 @@
+// Fabric (sim/fabric/fabric.h): the multi-process determinism contract.
+//
+//   * procs=2 x jobs=2 is bit-identical — every CellResult field, in
+//     submission order — to the serial jobs=1 run, with and without
+//     block stealing, for plain, watched and chaos cells alike;
+//   * procs=1 is a pure in-process passthrough (no fork);
+//   * per-process stats aggregate exactly: executed sums to the cell
+//     count, steps_run sums to the serial total, stepUtilization is
+//     computable on any host;
+//   * a worker killed mid-block yields structured errors for THAT block
+//     only; every other cell still matches serial truth;
+//   * the persistent store carries a whole fabric campaign warm across
+//     runs: second run all hits, results identical (skipped under the
+//     WFD_AUDIT latch, which correctly makes every cell uncacheable);
+//   * the wire codec round-trips CellResult/BlockReport and rejects
+//     malformed bytes instead of fabricating results.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "sim/fabric/fabric.h"
+#include "sim/fabric/wire.h"
+#include "sim/report_cache.h"
+#include "test_util.h"
+
+namespace wfd {
+namespace {
+
+using core::upsilonSetAgreement;
+using sim::BatchCell;
+using sim::BatchOptions;
+using sim::BatchRunner;
+using sim::BatchStats;
+using sim::CellResult;
+using sim::ChaosConfig;
+using sim::CrashInjection;
+using sim::Env;
+using sim::FailurePattern;
+using sim::RunConfig;
+using sim::WatchdogConfig;
+using sim::fabric::BlockReport;
+using sim::fabric::ByteReader;
+using sim::fabric::ByteWriter;
+using sim::fabric::FabricOptions;
+using sim::fabric::runFabric;
+
+sim::AlgoFn fig1Algo() {
+  return [](Env& e, Value v) { return upsilonSetAgreement(e, v); };
+}
+
+// A small mixed campaign: plain Fig. 1 cells, a watched cell, and a
+// chaos cell, across seeds — every execution path the fabric shards.
+BatchCell mixedCell(std::size_t i) {
+  const auto seed = static_cast<std::uint64_t>(3 + i);
+  BatchCell cell;
+  cell.memo_family = "fab-mixed";
+  if (i % 8 == 6) {
+    cell.cfg.n_plus_1 = 4;
+    cell.cfg.fp = FailurePattern::withCrashes(4, {{3, 50}});
+    cell.cfg.fd = fd::makeUpsilon(*cell.cfg.fp, 300, seed);
+    cell.cfg.seed = seed;
+    ChaosConfig chaos;
+    chaos.seed = seed;
+    chaos.max_faulty = 2;
+    chaos.crashes.push_back({CrashInjection::Strategy::kRandom, -1, 0,
+                             /*horizon=*/12, /*count=*/2, seed * 7});
+    cell.chaos = chaos;
+    cell.watchdog = WatchdogConfig{3'000'000, 0, 3};
+    cell.algo = fig1Algo();
+    cell.proposals = test::distinctProposals(4);
+    return cell;
+  }
+  if (i % 8 == 7) {
+    cell.cfg.n_plus_1 = 4;
+    cell.cfg.fp = FailurePattern::withCrashes(4, {{1, 120}});
+    cell.cfg.fd = fd::makeUpsilon(*cell.cfg.fp, 150, seed);
+    cell.cfg.seed = seed;
+    cell.algo = fig1Algo();
+    cell.proposals = test::distinctProposals(4);
+    cell.watchdog = WatchdogConfig{/*step_budget=*/200'000, 0, 0};
+    cell.post = [](const sim::RunReport& rep, CellResult& out) {
+      out.metrics["steps"] = static_cast<double>(rep.steps);
+    };
+    return cell;
+  }
+  cell.cfg.n_plus_1 = 4;
+  cell.cfg.fp = FailurePattern::withCrashes(4, {{1, 120}});
+  cell.cfg.fd = fd::makeUpsilon(*cell.cfg.fp, 150, seed);
+  cell.cfg.seed = seed;
+  cell.algo = fig1Algo();
+  cell.proposals = test::distinctProposals(4);
+  return cell;
+}
+
+constexpr std::size_t kCells = 24;
+
+void expectIdentical(const CellResult& want, const CellResult& got,
+                     const std::string& what) {
+  EXPECT_EQ(want.index, got.index) << what;
+  EXPECT_EQ(want.verdict, got.verdict) << what;
+  EXPECT_EQ(want.detail, got.detail) << what;
+  EXPECT_EQ(want.error, got.error) << what;
+  EXPECT_EQ(want.all_correct_done, got.all_correct_done) << what;
+  EXPECT_EQ(want.steps, got.steps) << what;
+  EXPECT_EQ(want.distinct_decisions, got.distinct_decisions) << what;
+  EXPECT_EQ(want.decisions, got.decisions) << what;
+  EXPECT_EQ(want.trace_hash, got.trace_hash) << what;
+  EXPECT_EQ(want.check_ok, got.check_ok) << what;
+  EXPECT_EQ(want.check_detail, got.check_detail) << what;
+  EXPECT_EQ(want.metrics, got.metrics) << what;
+}
+
+BatchOptions serialOptions() {
+  BatchOptions opts;
+  opts.jobs = 1;
+  return opts;
+}
+
+std::vector<CellResult> serialTruth() {
+  return BatchRunner(serialOptions()).run(kCells, mixedCell);
+}
+
+void expectMatchesSerial(const std::vector<CellResult>& got,
+                         const std::string& what) {
+  const auto truth = serialTruth();
+  ASSERT_EQ(got.size(), truth.size()) << what;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    expectIdentical(truth[i], got[i], what + " cell " + std::to_string(i));
+  }
+}
+
+TEST(Fabric, TwoProcsBitIdenticalToSerial) {
+  FabricOptions opts;
+  opts.procs = 2;
+  opts.batch.jobs = 2;
+  BatchStats stats;
+  const auto got = runFabric(opts, kCells, mixedCell, &stats);
+  expectMatchesSerial(got, "procs=2 steal");
+
+  EXPECT_EQ(stats.procs, 2);
+  ASSERT_EQ(stats.executed.size(), 2u);
+  ASSERT_EQ(stats.steps_run.size(), 2u);
+  EXPECT_EQ(stats.cells, kCells);
+  EXPECT_EQ(stats.executed[0] + stats.executed[1], kCells);
+  EXPECT_GE(stats.blocks, 2u);
+
+  // Per-process step counts sum exactly to the serial total: steps are a
+  // deterministic function of the cells, wherever they run.
+  BatchStats serial_stats;
+  (void)BatchRunner(serialOptions()).run(kCells, mixedCell, &serial_stats);
+  const long long serial_steps = std::accumulate(
+      serial_stats.steps_run.begin(), serial_stats.steps_run.end(), 0LL);
+  EXPECT_EQ(stats.steps_run[0] + stats.steps_run[1], serial_steps);
+  EXPECT_GT(stats.stepUtilization(), 0.0);
+  EXPECT_LE(stats.stepUtilization(), 1.0);
+}
+
+TEST(Fabric, StaticShardingAlsoBitIdentical) {
+  FabricOptions opts;
+  opts.procs = 2;
+  opts.steal = false;
+  opts.batch.jobs = 1;
+  BatchStats stats;
+  const auto got = runFabric(opts, kCells, mixedCell, &stats);
+  expectMatchesSerial(got, "procs=2 static");
+  EXPECT_EQ(stats.proc_steal_ops, 0u);
+  EXPECT_EQ(stats.proc_stolen_cells, 0u);
+}
+
+TEST(Fabric, SingleBlockGranularityStillCoversEveryCell) {
+  FabricOptions opts;
+  opts.procs = 3;
+  opts.batch.jobs = 1;
+  opts.block = 1;  // maximal reassignment pressure: one cell per block
+  BatchStats stats;
+  const auto got = runFabric(opts, kCells, mixedCell, &stats);
+  expectMatchesSerial(got, "procs=3 block=1");
+  EXPECT_EQ(stats.blocks, kCells);
+}
+
+TEST(Fabric, ProcsOneIsInProcessPassthrough) {
+  FabricOptions opts;
+  opts.procs = 1;
+  opts.batch.jobs = 2;
+  BatchStats stats;
+  const auto got = runFabric(opts, kCells, mixedCell, &stats);
+  expectMatchesSerial(got, "procs=1");
+  EXPECT_EQ(stats.procs, 1);
+}
+
+TEST(Fabric, VectorOverloadMatchesGeneratorForm) {
+  std::vector<BatchCell> cells;
+  cells.reserve(kCells);
+  for (std::size_t i = 0; i < kCells; ++i) cells.push_back(mixedCell(i));
+  FabricOptions opts;
+  opts.procs = 2;
+  opts.batch.jobs = 1;
+  const auto got = runFabric(opts, cells);
+  expectMatchesSerial(got, "vector overload");
+}
+
+TEST(Fabric, EmptyBatch) {
+  FabricOptions opts;
+  opts.procs = 2;
+  BatchStats stats;
+  const auto got = runFabric(opts, 0, mixedCell, &stats);
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(stats.procs, 1);  // no cells: nothing to fork for
+}
+
+TEST(Fabric, WorkerDeathErrorMarksOnlyItsBlock) {
+  constexpr std::size_t kKiller = 10;
+  const pid_t parent = ::getpid();
+  // In whichever CHILD draws cell kKiller, the generator kills the
+  // process outright — the crash-mid-block shape. block=1 pins the
+  // damage to exactly that cell.
+  const auto make = [parent](std::size_t i) {
+    if (i == kKiller && ::getpid() != parent) ::_exit(17);
+    return mixedCell(i);
+  };
+  FabricOptions opts;
+  opts.procs = 2;
+  opts.batch.jobs = 1;
+  opts.block = 1;
+  const auto got = runFabric(opts, kCells, make);
+  const auto truth = serialTruth();
+  ASSERT_EQ(got.size(), kCells);
+  for (std::size_t i = 0; i < kCells; ++i) {
+    if (i == kKiller) {
+      EXPECT_TRUE(got[i].error);
+      EXPECT_EQ(got[i].detail, "fabric worker died mid-block");
+      EXPECT_EQ(got[i].index, i);
+    } else {
+      expectIdentical(truth[i], got[i], "survivor cell " + std::to_string(i));
+    }
+  }
+}
+
+TEST(Fabric, PersistentCacheCarriesCampaignWarmAcrossRuns) {
+  std::size_t cacheable = 0;
+  for (std::size_t i = 0; i < kCells; ++i) {
+    cacheable += sim::cellKey(mixedCell(i)).has_value() ? 1 : 0;
+  }
+  const std::string dir = ::testing::TempDir() + "wfd_fabric_cache";
+  std::filesystem::remove_all(dir);
+  FabricOptions opts;
+  opts.procs = 2;
+  opts.batch.jobs = 1;
+  opts.batch.cache_dir = dir;
+  opts.batch.cache_version = "fabric-test";
+
+  BatchStats cold;
+  const auto first = runFabric(opts, kCells, mixedCell, &cold);
+  expectMatchesSerial(first, "cold fabric");
+  EXPECT_EQ(cold.memo_hits, 0u);
+  EXPECT_EQ(cold.memo_misses, cacheable);
+
+  // Run 2 is a fresh fabric (fresh processes, fresh memos): every
+  // cacheable cell must come back from the shared store, byte-identical.
+  BatchStats warm;
+  const auto second = runFabric(opts, kCells, mixedCell, &warm);
+  expectMatchesSerial(second, "warm fabric");
+  EXPECT_EQ(warm.memo_hits, cacheable);
+  EXPECT_EQ(warm.disk_hits, cacheable);
+}
+
+TEST(Wire, CellResultRoundTrip) {
+  CellResult r;
+  r.index = 12;
+  r.verdict = sim::RunVerdict::kBudgetExhausted;
+  r.detail = "budget";
+  r.error = false;
+  r.all_correct_done = true;
+  r.steps = 987654321;
+  r.distinct_decisions = 2;
+  r.decisions[1] = 100;
+  r.decisions[3] = -7;
+  r.trace_hash = 0xDEADBEEFCAFEF00DULL;
+  r.check_ok = false;
+  r.check_detail = "checker says no";
+  r.metrics["a"] = 1.25;
+  r.metrics["b"] = -3.5;
+
+  ByteWriter w;
+  encodeCellResult(w, r);
+  ByteReader rd(w.bytes().data(), w.bytes().size());
+  CellResult got;
+  ASSERT_TRUE(decodeCellResult(rd, got));
+  EXPECT_TRUE(rd.atEnd());
+  expectIdentical(r, got, "wire round-trip");
+}
+
+TEST(Wire, BlockReportRoundTrip) {
+  BlockReport rep;
+  rep.begin = 8;
+  rep.end = 10;
+  rep.steps = 4242;
+  rep.busy_s = 0.125;
+  rep.steal_ops = 3;
+  rep.stolen_cells = 9;
+  rep.memo_hits = 1;
+  rep.memo_misses = 1;
+  rep.disk_hits = 1;
+  rep.disk_misses = 0;
+  for (std::size_t i = 8; i < 10; ++i) {
+    CellResult r;
+    r.index = i;
+    r.trace_hash = 31 * i;
+    rep.results.push_back(r);
+  }
+  ByteWriter w;
+  encodeBlockReport(w, rep);
+  ByteReader rd(w.bytes().data(), w.bytes().size());
+  BlockReport got;
+  ASSERT_TRUE(decodeBlockReport(rd, got));
+  EXPECT_TRUE(rd.atEnd());
+  EXPECT_EQ(got.begin, rep.begin);
+  EXPECT_EQ(got.end, rep.end);
+  EXPECT_EQ(got.steps, rep.steps);
+  EXPECT_EQ(got.busy_s, rep.busy_s);
+  EXPECT_EQ(got.results.size(), 2u);
+  EXPECT_EQ(got.results[1].trace_hash, rep.results[1].trace_hash);
+}
+
+TEST(Wire, MalformedBytesAreRejectedNotFabricated) {
+  CellResult r;
+  r.detail = "x";
+  ByteWriter w;
+  encodeCellResult(w, r);
+
+  // Truncated buffer: decode fails cleanly at every cut point.
+  for (std::size_t cut = 0; cut < w.bytes().size(); ++cut) {
+    ByteReader rd(w.bytes().data(), cut);
+    CellResult got;
+    EXPECT_FALSE(decodeCellResult(rd, got)) << "cut " << cut;
+  }
+
+  // Out-of-range verdict byte (offset 8, right after the u64 index).
+  std::vector<std::uint8_t> bad = w.bytes();
+  bad[8] = 200;
+  ByteReader rd(bad.data(), bad.size());
+  CellResult got;
+  EXPECT_FALSE(decodeCellResult(rd, got));
+}
+
+}  // namespace
+}  // namespace wfd

@@ -1,0 +1,293 @@
+// PersistentStore (sim/fabric/store.h): the durable second level below
+// ReportCache, certified for the properties docs/PARALLEL.md promises:
+//
+//   * save/load round-trips every CellResult field exactly;
+//   * a warm hit survives a real handle teardown (the restart case: a new
+//     PersistentStore over the same directory serves the bytes the old
+//     one appended, and a makeMemo-built ReportCache over it replays a
+//     whole campaign from disk, byte-identical);
+//   * robustness: a truncated segment, a corrupted record, a wrong
+//     version stamp, and concurrent writers from two PROCESSES all
+//     degrade to a cold miss — never a wrong hit, never a crash;
+//   * BatchOptions plumbing: makeMemo honors memo_capacity and attaches
+//     the store only when cache_dir is set.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/fabric/store.h"
+#include "test_util.h"
+
+namespace wfd {
+namespace {
+
+using sim::BatchOptions;
+using sim::CellResult;
+using sim::ReportCache;
+using sim::RunVerdict;
+using sim::fabric::PersistentStore;
+using sim::fabric::StoreOptions;
+
+std::string freshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "wfd_store_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// A result exercising every field the codec carries, varied by seed.
+CellResult sampleResult(std::uint64_t seed) {
+  CellResult r;
+  r.index = 7;  // stores must round-trip it; ReportCache rewrites it
+  r.verdict = seed % 2 == 0 ? RunVerdict::kOk : RunVerdict::kLivelock;
+  r.detail = "detail-" + std::to_string(seed);
+  r.all_correct_done = seed % 3 == 0;
+  r.steps = static_cast<Time>(1000 + seed * 17);
+  r.distinct_decisions = static_cast<int>(seed % 4);
+  r.decisions[0] = static_cast<Value>(100 + seed);
+  r.decisions[2] = static_cast<Value>(200 + seed);
+  r.trace_hash = 0x9E3779B97F4A7C15ULL * (seed + 1);
+  r.check_ok = seed % 5 != 0;
+  r.check_detail = "check-" + std::to_string(seed);
+  r.metrics["steps"] = static_cast<double>(seed) * 1.5;
+  r.metrics["ratio"] = 0.25;
+  return r;
+}
+
+void expectIdentical(const CellResult& want, const CellResult& got,
+                     const std::string& what) {
+  EXPECT_EQ(want.index, got.index) << what;
+  EXPECT_EQ(want.verdict, got.verdict) << what;
+  EXPECT_EQ(want.detail, got.detail) << what;
+  EXPECT_EQ(want.error, got.error) << what;
+  EXPECT_EQ(want.all_correct_done, got.all_correct_done) << what;
+  EXPECT_EQ(want.steps, got.steps) << what;
+  EXPECT_EQ(want.distinct_decisions, got.distinct_decisions) << what;
+  EXPECT_EQ(want.decisions, got.decisions) << what;
+  EXPECT_EQ(want.trace_hash, got.trace_hash) << what;
+  EXPECT_EQ(want.check_ok, got.check_ok) << what;
+  EXPECT_EQ(want.check_detail, got.check_detail) << what;
+  EXPECT_EQ(want.metrics, got.metrics) << what;
+}
+
+TEST(PersistentStore, RoundTripsEveryField) {
+  const std::string dir = freshDir("roundtrip");
+  PersistentStore store(StoreOptions{dir, "v1"});
+  ASSERT_TRUE(store.healthy());
+  for (const std::uint64_t seed : {0, 1, 2, 3, 4, 5}) {
+    store.save(1000 + seed, sampleResult(seed));
+  }
+  EXPECT_EQ(store.appends(), 6u);
+  for (const std::uint64_t seed : {0, 1, 2, 3, 4, 5}) {
+    const auto got = store.load(1000 + seed);
+    ASSERT_TRUE(got.has_value()) << "seed " << seed;
+    expectIdentical(sampleResult(seed), *got, "seed " + std::to_string(seed));
+  }
+  EXPECT_FALSE(store.load(999).has_value());
+}
+
+TEST(PersistentStore, WarmHitSurvivesHandleRestart) {
+  const std::string dir = freshDir("restart");
+  {
+    PersistentStore store(StoreOptions{dir, "v1"});
+    ASSERT_TRUE(store.healthy());
+    store.save(42, sampleResult(9));
+  }  // handle torn down: only the bytes on disk survive
+  PersistentStore reopened(StoreOptions{dir, "v1"});
+  ASSERT_TRUE(reopened.healthy());
+  const auto got = reopened.load(42);
+  ASSERT_TRUE(got.has_value());
+  expectIdentical(sampleResult(9), *got, "after restart");
+  EXPECT_EQ(reopened.records(), 1u);
+  EXPECT_EQ(reopened.appends(), 0u);  // nothing re-written
+}
+
+TEST(PersistentStore, SaveDedupesKeys) {
+  const std::string dir = freshDir("dedupe");
+  PersistentStore store(StoreOptions{dir, "v1"});
+  store.save(7, sampleResult(1));
+  store.save(7, sampleResult(1));  // same handle: skipped
+  EXPECT_EQ(store.appends(), 1u);
+  PersistentStore reopened(StoreOptions{dir, "v1"});
+  reopened.save(7, sampleResult(1));  // already scanned: skipped too
+  EXPECT_EQ(reopened.appends(), 0u);
+}
+
+TEST(PersistentStore, VersionMismatchIsAColdMissNotAWrongHit) {
+  const std::string dir = freshDir("version");
+  {
+    PersistentStore store(StoreOptions{dir, "schema-A"});
+    store.save(42, sampleResult(3));
+  }
+  // A different stamp addresses a different segment file entirely: the
+  // old results are invisible, the new segment starts cold and healthy.
+  PersistentStore other(StoreOptions{dir, "schema-B"});
+  ASSERT_TRUE(other.healthy());
+  EXPECT_NE(other.path(), PersistentStore::segmentPath(dir, "schema-A"));
+  EXPECT_FALSE(other.load(42).has_value());
+  other.save(42, sampleResult(4));  // and is independently writable
+  expectIdentical(sampleResult(4), *other.load(42), "schema-B value");
+  // The original segment still serves the original bytes.
+  PersistentStore original(StoreOptions{dir, "schema-A"});
+  expectIdentical(sampleResult(3), *original.load(42), "schema-A value");
+}
+
+TEST(PersistentStore, CorruptHeaderDisablesTheHandle) {
+  const std::string dir = freshDir("badheader");
+  const std::string path = PersistentStore::segmentPath(dir, "v1");
+  {
+    PersistentStore store(StoreOptions{dir, "v1"});
+    store.save(1, sampleResult(1));
+  }
+  {
+    // Stomp the version digest inside the header (byte 16).
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(16);
+    const char garbage[8] = {'X', 'X', 'X', 'X', 'X', 'X', 'X', 'X'};
+    f.write(garbage, sizeof garbage);
+  }
+  PersistentStore store(StoreOptions{dir, "v1"});
+  EXPECT_FALSE(store.healthy());
+  EXPECT_FALSE(store.load(1).has_value());    // miss, not garbage
+  store.save(2, sampleResult(2));             // no-op, not a crash
+  EXPECT_EQ(store.appends(), 0u);
+}
+
+TEST(PersistentStore, TruncatedTailDegradesToColdMiss) {
+  const std::string dir = freshDir("truncated");
+  const std::string path = PersistentStore::segmentPath(dir, "v1");
+  {
+    PersistentStore store(StoreOptions{dir, "v1"});
+    store.save(1, sampleResult(1));
+    store.save(2, sampleResult(2));
+  }
+  // Chop the file mid-way through the last record — the crashed-writer
+  // shape. The first record must still hit; the torn one must miss.
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) - 11);
+  PersistentStore store(StoreOptions{dir, "v1"});
+  ASSERT_TRUE(store.healthy());
+  ASSERT_TRUE(store.load(1).has_value());
+  expectIdentical(sampleResult(1), *store.load(1), "intact record");
+  EXPECT_FALSE(store.load(2).has_value());
+}
+
+TEST(PersistentStore, CorruptedRecordDegradesToColdMiss) {
+  const std::string dir = freshDir("corrupt");
+  const std::string path = PersistentStore::segmentPath(dir, "v1");
+  {
+    PersistentStore store(StoreOptions{dir, "v1"});
+    store.save(1, sampleResult(1));
+    store.save(2, sampleResult(2));
+  }
+  {
+    // Flip one payload byte inside the FIRST record (just past its
+    // 24-byte file header + 16-byte record header).
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(24 + 16 + 3);
+    char b = 0;
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x5A);
+    f.seekp(24 + 16 + 3);
+    f.write(&b, 1);
+  }
+  PersistentStore store(StoreOptions{dir, "v1"});
+  // The checksum catches the flip; everything at and past the damage is
+  // untrusted, so BOTH records miss — cold, correct, no crash.
+  EXPECT_FALSE(store.load(1).has_value());
+  EXPECT_FALSE(store.load(2).has_value());
+  store.save(3, sampleResult(3));  // handle still usable for new appends
+  EXPECT_FALSE(store.load(3).has_value());  // but reads stay cold: fine
+}
+
+TEST(PersistentStore, ConcurrentWritersFromTwoProcesses) {
+  const std::string dir = freshDir("twoproc");
+  constexpr int kPerSide = 24;
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: write the odd keys through its own handle, racing the
+    // parent's appends on the same segment.
+    PersistentStore store(StoreOptions{dir, "v1"});
+    for (int i = 0; i < kPerSide; ++i) {
+      store.save(static_cast<std::uint64_t>(2 * i + 1),
+                 sampleResult(static_cast<std::uint64_t>(2 * i + 1)));
+    }
+    _exit(store.healthy() ? 0 : 1);
+  }
+  PersistentStore store(StoreOptions{dir, "v1"});
+  for (int i = 0; i < kPerSide; ++i) {
+    store.save(static_cast<std::uint64_t>(2 * i),
+               sampleResult(static_cast<std::uint64_t>(2 * i)));
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  // A fresh reader sees every record from both writers, each intact —
+  // flock + O_APPEND means interleaved RECORDS, never interleaved bytes.
+  PersistentStore reader(StoreOptions{dir, "v1"});
+  ASSERT_TRUE(reader.healthy());
+  for (std::uint64_t k = 0; k < 2 * kPerSide; ++k) {
+    const auto got = reader.load(k);
+    ASSERT_TRUE(got.has_value()) << "key " << k;
+    expectIdentical(sampleResult(k), *got, "key " + std::to_string(k));
+  }
+  EXPECT_EQ(reader.records(), static_cast<std::size_t>(2 * kPerSide));
+}
+
+TEST(PersistentStore, LiveHandleSeesAPeersAppends) {
+  const std::string dir = freshDir("liveshare");
+  PersistentStore a(StoreOptions{dir, "v1"});
+  PersistentStore b(StoreOptions{dir, "v1"});  // same segment, two handles
+  EXPECT_FALSE(b.load(5).has_value());
+  a.save(5, sampleResult(5));
+  const auto got = b.load(5);  // b's refresh scan picks up a's append
+  ASSERT_TRUE(got.has_value());
+  expectIdentical(sampleResult(5), *got, "cross-handle");
+}
+
+TEST(MakeMemo, HonorsCapacityAndCacheDir) {
+  BatchOptions opts;
+  opts.memo_capacity = 2;
+  std::unique_ptr<ReportCache> memo = sim::makeMemo(opts);
+  ASSERT_NE(memo, nullptr);
+  EXPECT_EQ(memo->capacity(), 2u);
+  EXPECT_EQ(memo->store(), nullptr);  // no cache_dir: memory only
+
+  opts.memo_capacity = 0;
+  opts.cache_dir = freshDir("makememo");
+  opts.cache_version = "stamp";
+  std::unique_ptr<ReportCache> backed = sim::makeMemo(opts);
+  EXPECT_EQ(backed->capacity(), ReportCache::kDefaultCapacity);
+  ASSERT_NE(backed->store(), nullptr);
+
+  // The LRU never re-reads what it holds: a disk hit is counted once,
+  // then served from memory.
+  CellResult r = sampleResult(1);
+  backed->insert(77, r);
+  std::unique_ptr<ReportCache> warm = sim::makeMemo(opts);
+  EXPECT_EQ(warm->diskHits(), 0u);
+  ASSERT_TRUE(warm->lookup(77, 3).has_value());
+  EXPECT_EQ(warm->diskHits(), 1u);
+  ASSERT_TRUE(warm->lookup(77, 4).has_value());
+  EXPECT_EQ(warm->diskHits(), 1u);
+  EXPECT_EQ(warm->hits(), 2u);
+
+  // And the rewritten index is the caller's, not the stored one.
+  const auto got = warm->lookup(77, 9);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->index, 9u);
+  CellResult want = r;
+  want.index = 9;
+  expectIdentical(want, *got, "memo-backed lookup");
+}
+
+}  // namespace
+}  // namespace wfd

@@ -39,6 +39,13 @@ guarantees:
                      iterating one visits elements in address/seed order,
                      which leaks nondeterminism the moment any loop effect
                      reaches a trace, a digest, or an eviction choice
+  ipc-primitive      fork/exec*/socket/pipe outside src/sim/fabric: the
+                     multi-process campaign fabric (docs/PARALLEL.md) is
+                     the ONE component allowed to spawn processes and open
+                     IPC channels; anywhere else these primitives would
+                     fork threads mid-flight, duplicate file descriptors,
+                     and break the single-address-space assumptions the
+                     batch runner's determinism contract rests on
 
 The harness-facing trees bench/ and examples/ are linted too: their runs
 feed EXPERIMENTS.md rows and documentation, so the same determinism rules
@@ -69,6 +76,10 @@ HOT_PATH_FILES = ["src/sim/scheduler.cc", "src/sim/scheduler.h"]
 # unordered container (legal in src/sim), ITERATING one is nondeterministic
 # everywhere.
 ALL_SRC_DIRS = ["src"]
+# The IPC rule binds the library AND the harness trees, minus the one
+# component designed to spawn processes: the campaign fabric.
+IPC_DIRS = ["src", "bench", "examples"]
+IPC_EXCLUDES = ["src/sim/fabric"]
 
 
 UNORDERED_DECL_RX = re.compile(
@@ -99,10 +110,12 @@ def find_nondet_iteration(stripped: str):
     return hits
 
 
-# (rule-name, matcher, explanation[, dirs]) — rules without an explicit
-# dirs entry bind LINTED_DIRS. A matcher is either a compiled line regex
-# or a callable taking the comment/string-stripped file text and returning
-# the set of violating line numbers (for rules needing file-wide state).
+# (rule-name, matcher, explanation[, dirs[, excludes]]) — rules without
+# an explicit dirs entry bind LINTED_DIRS; `excludes` names path prefixes
+# inside those dirs the rule does NOT bind (e.g. the fabric exemption of
+# ipc-primitive). A matcher is either a compiled line regex or a callable
+# taking the comment/string-stripped file text and returning the set of
+# violating line numbers (for rules needing file-wide state).
 RULES = [
     (
         "libc-rand",
@@ -208,12 +221,35 @@ RULES = [
         "this reason)",
         ALL_SRC_DIRS,
     ),
+    (
+        "ipc-primitive",
+        # Call-position only; the leading guard blocks member access
+        # (obj.fork(...)) but deliberately lets `::fork(` through — the
+        # globally qualified spelling the fabric itself uses must not be
+        # an evasion for everyone else.
+        re.compile(
+            r"(?<![\w.>])(?:fork|vfork|execl|execle|execlp|execv|execve|"
+            r"execvp|execvpe|posix_spawn|posix_spawnp|socket|socketpair|"
+            r"pipe|pipe2)\s*\("
+        ),
+        "process/IPC primitives are confined to the campaign fabric "
+        "(src/sim/fabric/, docs/PARALLEL.md): fork() elsewhere duplicates "
+        "live worker threads and file descriptors mid-run; spawn processes "
+        "only through sim::fabric::runFabric",
+        IPC_DIRS,
+        IPC_EXCLUDES,
+    ),
 ]
 
 
 def rule_dirs(rule):
     """Paths a rule binds (dirs or files): 4th element, else LINTED_DIRS."""
     return rule[3] if len(rule) > 3 else LINTED_DIRS
+
+
+def rule_excludes(rule):
+    """Path prefixes exempt from a rule: 5th element, else none."""
+    return rule[4] if len(rule) > 4 else []
 
 
 EXTENSIONS = {".h", ".cc"}
@@ -313,13 +349,16 @@ def scan_tree(root: pathlib.Path):
             return None, 0
         for p in paths:
             files += 1
-            findings.extend(
-                scan_text(
-                    p.read_text(encoding="utf-8"),
-                    str(p.relative_to(root)),
-                    rules,
+            rel = str(p.relative_to(root))
+            active = [
+                r
+                for r in rules
+                if not any(
+                    rel == e or rel.startswith(e.rstrip("/") + "/")
+                    for e in rule_excludes(r)
                 )
-            )
+            ]
+            findings.extend(scan_text(p.read_text(encoding="utf-8"), rel, active))
     return findings, files
 
 
@@ -339,6 +378,10 @@ VIOLATING_SNIPPETS = {
     "nondet-iteration": (
         "std::unordered_map<std::uint64_t, Entry> cache_;\n"
         "void dump() { for (const auto& [k, v] : cache_) use(k, v); }\n"
+    ),
+    "ipc-primitive": (
+        "int fds[2];\n"
+        "int rogue() { if (::fork() == 0) _exit(0); return pipe(fds); }\n"
     ),
 }
 
