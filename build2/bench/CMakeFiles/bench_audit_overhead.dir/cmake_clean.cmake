@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_audit_overhead.dir/bench_audit_overhead.cc.o"
+  "CMakeFiles/bench_audit_overhead.dir/bench_audit_overhead.cc.o.d"
+  "bench_audit_overhead"
+  "bench_audit_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_audit_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

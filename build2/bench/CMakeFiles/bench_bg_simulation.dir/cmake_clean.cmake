@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bg_simulation.dir/bench_bg_simulation.cc.o"
+  "CMakeFiles/bench_bg_simulation.dir/bench_bg_simulation.cc.o.d"
+  "bench_bg_simulation"
+  "bench_bg_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bg_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_equivalences.dir/bench_equivalences.cc.o"
+  "CMakeFiles/bench_equivalences.dir/bench_equivalences.cc.o.d"
+  "bench_equivalences"
+  "bench_equivalences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_equivalences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

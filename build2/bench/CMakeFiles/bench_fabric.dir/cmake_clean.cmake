@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fabric.dir/bench_fabric.cc.o"
+  "CMakeFiles/bench_fabric.dir/bench_fabric.cc.o.d"
+  "bench_fabric"
+  "bench_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

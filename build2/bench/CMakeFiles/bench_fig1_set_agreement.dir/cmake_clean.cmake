@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_set_agreement.dir/bench_fig1_set_agreement.cc.o"
+  "CMakeFiles/bench_fig1_set_agreement.dir/bench_fig1_set_agreement.cc.o.d"
+  "bench_fig1_set_agreement"
+  "bench_fig1_set_agreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_set_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_f_resilient.dir/bench_fig2_f_resilient.cc.o"
+  "CMakeFiles/bench_fig2_f_resilient.dir/bench_fig2_f_resilient.cc.o.d"
+  "bench_fig2_f_resilient"
+  "bench_fig2_f_resilient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_f_resilient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partial_synchrony.dir/bench_partial_synchrony.cc.o"
+  "CMakeFiles/bench_partial_synchrony.dir/bench_partial_synchrony.cc.o.d"
+  "bench_partial_synchrony"
+  "bench_partial_synchrony.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partial_synchrony.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

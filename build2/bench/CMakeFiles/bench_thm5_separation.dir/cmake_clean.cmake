@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm5_separation.dir/bench_thm5_separation.cc.o"
+  "CMakeFiles/bench_thm5_separation.dir/bench_thm5_separation.cc.o.d"
+  "bench_thm5_separation"
+  "bench_thm5_separation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm5_separation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

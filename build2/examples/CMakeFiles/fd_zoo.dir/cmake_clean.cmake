@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_zoo.dir/fd_zoo.cc.o"
+  "CMakeFiles/fd_zoo.dir/fd_zoo.cc.o.d"
+  "fd_zoo"
+  "fd_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

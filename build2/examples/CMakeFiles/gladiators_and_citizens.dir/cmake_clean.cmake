@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gladiators_and_citizens.dir/gladiators_and_citizens.cc.o"
+  "CMakeFiles/gladiators_and_citizens.dir/gladiators_and_citizens.cc.o.d"
+  "gladiators_and_citizens"
+  "gladiators_and_citizens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gladiators_and_citizens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

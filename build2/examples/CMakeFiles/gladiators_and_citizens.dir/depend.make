@@ -1,0 +1,2 @@
+# Empty dependencies file for gladiators_and_citizens.
+# This may be replaced when dependencies are built.

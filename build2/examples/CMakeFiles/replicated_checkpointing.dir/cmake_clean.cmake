@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicated_checkpointing.dir/replicated_checkpointing.cc.o"
+  "CMakeFiles/replicated_checkpointing.dir/replicated_checkpointing.cc.o.d"
+  "replicated_checkpointing"
+  "replicated_checkpointing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_checkpointing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_process_equivalence.dir/two_process_equivalence.cc.o"
+  "CMakeFiles/two_process_equivalence.dir/two_process_equivalence.cc.o.d"
+  "two_process_equivalence"
+  "two_process_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_process_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for two_process_equivalence.
+# This may be replaced when dependencies are built.

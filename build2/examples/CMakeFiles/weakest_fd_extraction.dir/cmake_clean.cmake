@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weakest_fd_extraction.dir/weakest_fd_extraction.cc.o"
+  "CMakeFiles/weakest_fd_extraction.dir/weakest_fd_extraction.cc.o.d"
+  "weakest_fd_extraction"
+  "weakest_fd_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weakest_fd_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

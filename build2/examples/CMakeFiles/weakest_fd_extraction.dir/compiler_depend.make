@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for weakest_fd_extraction.
+# This may be replaced when dependencies are built.

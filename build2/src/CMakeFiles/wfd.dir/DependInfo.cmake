@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/proc_set.cc" "src/CMakeFiles/wfd.dir/common/proc_set.cc.o" "gcc" "src/CMakeFiles/wfd.dir/common/proc_set.cc.o.d"
+  "/root/repo/src/common/reg_val.cc" "src/CMakeFiles/wfd.dir/common/reg_val.cc.o" "gcc" "src/CMakeFiles/wfd.dir/common/reg_val.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/wfd.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/wfd.dir/common/rng.cc.o.d"
+  "/root/repo/src/core/ablations.cc" "src/CMakeFiles/wfd.dir/core/ablations.cc.o" "gcc" "src/CMakeFiles/wfd.dir/core/ablations.cc.o.d"
+  "/root/repo/src/core/adversary.cc" "src/CMakeFiles/wfd.dir/core/adversary.cc.o" "gcc" "src/CMakeFiles/wfd.dir/core/adversary.cc.o.d"
+  "/root/repo/src/core/bg_simulation.cc" "src/CMakeFiles/wfd.dir/core/bg_simulation.cc.o" "gcc" "src/CMakeFiles/wfd.dir/core/bg_simulation.cc.o.d"
+  "/root/repo/src/core/boosting.cc" "src/CMakeFiles/wfd.dir/core/boosting.cc.o" "gcc" "src/CMakeFiles/wfd.dir/core/boosting.cc.o.d"
+  "/root/repo/src/core/candidates.cc" "src/CMakeFiles/wfd.dir/core/candidates.cc.o" "gcc" "src/CMakeFiles/wfd.dir/core/candidates.cc.o.d"
+  "/root/repo/src/core/checkers.cc" "src/CMakeFiles/wfd.dir/core/checkers.cc.o" "gcc" "src/CMakeFiles/wfd.dir/core/checkers.cc.o.d"
+  "/root/repo/src/core/extraction.cc" "src/CMakeFiles/wfd.dir/core/extraction.cc.o" "gcc" "src/CMakeFiles/wfd.dir/core/extraction.cc.o.d"
+  "/root/repo/src/core/kconverge.cc" "src/CMakeFiles/wfd.dir/core/kconverge.cc.o" "gcc" "src/CMakeFiles/wfd.dir/core/kconverge.cc.o.d"
+  "/root/repo/src/core/omega_impl.cc" "src/CMakeFiles/wfd.dir/core/omega_impl.cc.o" "gcc" "src/CMakeFiles/wfd.dir/core/omega_impl.cc.o.d"
+  "/root/repo/src/core/omega_k_set_agreement.cc" "src/CMakeFiles/wfd.dir/core/omega_k_set_agreement.cc.o" "gcc" "src/CMakeFiles/wfd.dir/core/omega_k_set_agreement.cc.o.d"
+  "/root/repo/src/core/phi_maps.cc" "src/CMakeFiles/wfd.dir/core/phi_maps.cc.o" "gcc" "src/CMakeFiles/wfd.dir/core/phi_maps.cc.o.d"
+  "/root/repo/src/core/reductions.cc" "src/CMakeFiles/wfd.dir/core/reductions.cc.o" "gcc" "src/CMakeFiles/wfd.dir/core/reductions.cc.o.d"
+  "/root/repo/src/core/safe_agreement.cc" "src/CMakeFiles/wfd.dir/core/safe_agreement.cc.o" "gcc" "src/CMakeFiles/wfd.dir/core/safe_agreement.cc.o.d"
+  "/root/repo/src/core/samples.cc" "src/CMakeFiles/wfd.dir/core/samples.cc.o" "gcc" "src/CMakeFiles/wfd.dir/core/samples.cc.o.d"
+  "/root/repo/src/core/upsilon_f_set_agreement.cc" "src/CMakeFiles/wfd.dir/core/upsilon_f_set_agreement.cc.o" "gcc" "src/CMakeFiles/wfd.dir/core/upsilon_f_set_agreement.cc.o.d"
+  "/root/repo/src/core/upsilon_set_agreement.cc" "src/CMakeFiles/wfd.dir/core/upsilon_set_agreement.cc.o" "gcc" "src/CMakeFiles/wfd.dir/core/upsilon_set_agreement.cc.o.d"
+  "/root/repo/src/fd/anti_omega.cc" "src/CMakeFiles/wfd.dir/fd/anti_omega.cc.o" "gcc" "src/CMakeFiles/wfd.dir/fd/anti_omega.cc.o.d"
+  "/root/repo/src/fd/axioms.cc" "src/CMakeFiles/wfd.dir/fd/axioms.cc.o" "gcc" "src/CMakeFiles/wfd.dir/fd/axioms.cc.o.d"
+  "/root/repo/src/fd/mapped.cc" "src/CMakeFiles/wfd.dir/fd/mapped.cc.o" "gcc" "src/CMakeFiles/wfd.dir/fd/mapped.cc.o.d"
+  "/root/repo/src/fd/omega.cc" "src/CMakeFiles/wfd.dir/fd/omega.cc.o" "gcc" "src/CMakeFiles/wfd.dir/fd/omega.cc.o.d"
+  "/root/repo/src/fd/perfect.cc" "src/CMakeFiles/wfd.dir/fd/perfect.cc.o" "gcc" "src/CMakeFiles/wfd.dir/fd/perfect.cc.o.d"
+  "/root/repo/src/fd/scripted.cc" "src/CMakeFiles/wfd.dir/fd/scripted.cc.o" "gcc" "src/CMakeFiles/wfd.dir/fd/scripted.cc.o.d"
+  "/root/repo/src/fd/upsilon.cc" "src/CMakeFiles/wfd.dir/fd/upsilon.cc.o" "gcc" "src/CMakeFiles/wfd.dir/fd/upsilon.cc.o.d"
+  "/root/repo/src/memory/immediate_snapshot.cc" "src/CMakeFiles/wfd.dir/memory/immediate_snapshot.cc.o" "gcc" "src/CMakeFiles/wfd.dir/memory/immediate_snapshot.cc.o.d"
+  "/root/repo/src/memory/linearizability.cc" "src/CMakeFiles/wfd.dir/memory/linearizability.cc.o" "gcc" "src/CMakeFiles/wfd.dir/memory/linearizability.cc.o.d"
+  "/root/repo/src/memory/mwmr.cc" "src/CMakeFiles/wfd.dir/memory/mwmr.cc.o" "gcc" "src/CMakeFiles/wfd.dir/memory/mwmr.cc.o.d"
+  "/root/repo/src/memory/snapshot_afek.cc" "src/CMakeFiles/wfd.dir/memory/snapshot_afek.cc.o" "gcc" "src/CMakeFiles/wfd.dir/memory/snapshot_afek.cc.o.d"
+  "/root/repo/src/sim/batch.cc" "src/CMakeFiles/wfd.dir/sim/batch.cc.o" "gcc" "src/CMakeFiles/wfd.dir/sim/batch.cc.o.d"
+  "/root/repo/src/sim/chaos.cc" "src/CMakeFiles/wfd.dir/sim/chaos.cc.o" "gcc" "src/CMakeFiles/wfd.dir/sim/chaos.cc.o.d"
+  "/root/repo/src/sim/explore.cc" "src/CMakeFiles/wfd.dir/sim/explore.cc.o" "gcc" "src/CMakeFiles/wfd.dir/sim/explore.cc.o.d"
+  "/root/repo/src/sim/fabric/fabric.cc" "src/CMakeFiles/wfd.dir/sim/fabric/fabric.cc.o" "gcc" "src/CMakeFiles/wfd.dir/sim/fabric/fabric.cc.o.d"
+  "/root/repo/src/sim/fabric/store.cc" "src/CMakeFiles/wfd.dir/sim/fabric/store.cc.o" "gcc" "src/CMakeFiles/wfd.dir/sim/fabric/store.cc.o.d"
+  "/root/repo/src/sim/fabric/wire.cc" "src/CMakeFiles/wfd.dir/sim/fabric/wire.cc.o" "gcc" "src/CMakeFiles/wfd.dir/sim/fabric/wire.cc.o.d"
+  "/root/repo/src/sim/failure_pattern.cc" "src/CMakeFiles/wfd.dir/sim/failure_pattern.cc.o" "gcc" "src/CMakeFiles/wfd.dir/sim/failure_pattern.cc.o.d"
+  "/root/repo/src/sim/net/heartbeat.cc" "src/CMakeFiles/wfd.dir/sim/net/heartbeat.cc.o" "gcc" "src/CMakeFiles/wfd.dir/sim/net/heartbeat.cc.o.d"
+  "/root/repo/src/sim/net/net_world.cc" "src/CMakeFiles/wfd.dir/sim/net/net_world.cc.o" "gcc" "src/CMakeFiles/wfd.dir/sim/net/net_world.cc.o.d"
+  "/root/repo/src/sim/net/realized_fd.cc" "src/CMakeFiles/wfd.dir/sim/net/realized_fd.cc.o" "gcc" "src/CMakeFiles/wfd.dir/sim/net/realized_fd.cc.o.d"
+  "/root/repo/src/sim/object_table.cc" "src/CMakeFiles/wfd.dir/sim/object_table.cc.o" "gcc" "src/CMakeFiles/wfd.dir/sim/object_table.cc.o.d"
+  "/root/repo/src/sim/report_cache.cc" "src/CMakeFiles/wfd.dir/sim/report_cache.cc.o" "gcc" "src/CMakeFiles/wfd.dir/sim/report_cache.cc.o.d"
+  "/root/repo/src/sim/runner.cc" "src/CMakeFiles/wfd.dir/sim/runner.cc.o" "gcc" "src/CMakeFiles/wfd.dir/sim/runner.cc.o.d"
+  "/root/repo/src/sim/scheduler.cc" "src/CMakeFiles/wfd.dir/sim/scheduler.cc.o" "gcc" "src/CMakeFiles/wfd.dir/sim/scheduler.cc.o.d"
+  "/root/repo/src/sim/step_audit.cc" "src/CMakeFiles/wfd.dir/sim/step_audit.cc.o" "gcc" "src/CMakeFiles/wfd.dir/sim/step_audit.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/wfd.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/wfd.dir/sim/trace.cc.o.d"
+  "/root/repo/src/sim/watchdog.cc" "src/CMakeFiles/wfd.dir/sim/watchdog.cc.o" "gcc" "src/CMakeFiles/wfd.dir/sim/watchdog.cc.o.d"
+  "/root/repo/src/sim/world.cc" "src/CMakeFiles/wfd.dir/sim/world.cc.o" "gcc" "src/CMakeFiles/wfd.dir/sim/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversary_test.dir/adversary_test.cc.o"
+  "CMakeFiles/adversary_test.dir/adversary_test.cc.o.d"
+  "adversary_test"
+  "adversary_test.pdb"
+  "adversary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

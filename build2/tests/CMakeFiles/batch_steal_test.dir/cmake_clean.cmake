@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_steal_test.dir/batch_steal_test.cc.o"
+  "CMakeFiles/batch_steal_test.dir/batch_steal_test.cc.o.d"
+  "batch_steal_test"
+  "batch_steal_test.pdb"
+  "batch_steal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_steal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bg_simulation_test.dir/bg_simulation_test.cc.o"
+  "CMakeFiles/bg_simulation_test.dir/bg_simulation_test.cc.o.d"
+  "bg_simulation_test"
+  "bg_simulation_test.pdb"
+  "bg_simulation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bg_simulation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

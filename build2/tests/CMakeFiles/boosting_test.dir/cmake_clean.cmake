@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boosting_test.dir/boosting_test.cc.o"
+  "CMakeFiles/boosting_test.dir/boosting_test.cc.o.d"
+  "boosting_test"
+  "boosting_test.pdb"
+  "boosting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boosting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkers_test.dir/checkers_test.cc.o"
+  "CMakeFiles/checkers_test.dir/checkers_test.cc.o.d"
+  "checkers_test"
+  "checkers_test.pdb"
+  "checkers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

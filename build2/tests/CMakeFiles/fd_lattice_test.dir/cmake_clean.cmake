@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_lattice_test.dir/fd_lattice_test.cc.o"
+  "CMakeFiles/fd_lattice_test.dir/fd_lattice_test.cc.o.d"
+  "fd_lattice_test"
+  "fd_lattice_test.pdb"
+  "fd_lattice_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_lattice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_f_resilient_test.dir/fig2_f_resilient_test.cc.o"
+  "CMakeFiles/fig2_f_resilient_test.dir/fig2_f_resilient_test.cc.o.d"
+  "fig2_f_resilient_test"
+  "fig2_f_resilient_test.pdb"
+  "fig2_f_resilient_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_f_resilient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_hash_test.dir/golden_hash_test.cc.o"
+  "CMakeFiles/golden_hash_test.dir/golden_hash_test.cc.o.d"
+  "golden_hash_test"
+  "golden_hash_test.pdb"
+  "golden_hash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/immediate_snapshot_test.dir/immediate_snapshot_test.cc.o"
+  "CMakeFiles/immediate_snapshot_test.dir/immediate_snapshot_test.cc.o.d"
+  "immediate_snapshot_test"
+  "immediate_snapshot_test.pdb"
+  "immediate_snapshot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/immediate_snapshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kconverge_test.dir/kconverge_test.cc.o"
+  "CMakeFiles/kconverge_test.dir/kconverge_test.cc.o.d"
+  "kconverge_test"
+  "kconverge_test.pdb"
+  "kconverge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kconverge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

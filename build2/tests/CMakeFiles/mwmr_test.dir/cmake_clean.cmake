@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwmr_test.dir/mwmr_test.cc.o"
+  "CMakeFiles/mwmr_test.dir/mwmr_test.cc.o.d"
+  "mwmr_test"
+  "mwmr_test.pdb"
+  "mwmr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwmr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfect_fd_test.dir/perfect_fd_test.cc.o"
+  "CMakeFiles/perfect_fd_test.dir/perfect_fd_test.cc.o.d"
+  "perfect_fd_test"
+  "perfect_fd_test.pdb"
+  "perfect_fd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfect_fd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

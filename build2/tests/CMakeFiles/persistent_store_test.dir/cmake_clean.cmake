@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_store_test.dir/persistent_store_test.cc.o"
+  "CMakeFiles/persistent_store_test.dir/persistent_store_test.cc.o.d"
+  "persistent_store_test"
+  "persistent_store_test.pdb"
+  "persistent_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

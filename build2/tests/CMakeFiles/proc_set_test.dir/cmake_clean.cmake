@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proc_set_test.dir/proc_set_test.cc.o"
+  "CMakeFiles/proc_set_test.dir/proc_set_test.cc.o.d"
+  "proc_set_test"
+  "proc_set_test.pdb"
+  "proc_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proc_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

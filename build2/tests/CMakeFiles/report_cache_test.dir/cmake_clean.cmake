@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_cache_test.dir/report_cache_test.cc.o"
+  "CMakeFiles/report_cache_test.dir/report_cache_test.cc.o.d"
+  "report_cache_test"
+  "report_cache_test.pdb"
+  "report_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

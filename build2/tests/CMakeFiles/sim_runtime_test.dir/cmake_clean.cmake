@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_runtime_test.dir/sim_runtime_test.cc.o"
+  "CMakeFiles/sim_runtime_test.dir/sim_runtime_test.cc.o.d"
+  "sim_runtime_test"
+  "sim_runtime_test.pdb"
+  "sim_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stale_view_test.dir/stale_view_test.cc.o"
+  "CMakeFiles/stale_view_test.dir/stale_view_test.cc.o.d"
+  "stale_view_test"
+  "stale_view_test.pdb"
+  "stale_view_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stale_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/step_audit_test.dir/step_audit_test.cc.o"
+  "CMakeFiles/step_audit_test.dir/step_audit_test.cc.o.d"
+  "step_audit_test"
+  "step_audit_test.pdb"
+  "step_audit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/step_audit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_hash_test.dir/trace_hash_test.cc.o"
+  "CMakeFiles/trace_hash_test.dir/trace_hash_test.cc.o.d"
+  "trace_hash_test"
+  "trace_hash_test.pdb"
+  "trace_hash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/determinism_check.dir/determinism_check.cc.o"
+  "CMakeFiles/determinism_check.dir/determinism_check.cc.o.d"
+  "determinism_check"
+  "determinism_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/determinism_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

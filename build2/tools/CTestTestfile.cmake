@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build2/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tools.determinism_check "/root/repo/build2/tools/determinism_check" "--jobs" "4" "--steal" "--memo")
+set_tests_properties(tools.determinism_check PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools.determinism_check_fabric "/root/repo/build2/tools/determinism_check" "--procs" "2" "--jobs" "2" "--steal" "--memo")
+set_tests_properties(tools.determinism_check_fabric PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools.chaos_coverage "/root/repo/build2/bench/bench_chaos" "--quick" "--jobs" "4")
+set_tests_properties(tools.chaos_coverage PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools.model_lint "/root/.pyenv/shims/python3" "/root/repo/tools/model_lint.py" "--root" "/root/repo")
+set_tests_properties(tools.model_lint PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools.model_lint_selftest "/root/.pyenv/shims/python3" "/root/repo/tools/model_lint.py" "--self-test")
+set_tests_properties(tools.model_lint_selftest PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;30;add_test;/root/repo/tools/CMakeLists.txt;0;")
