@@ -1,32 +1,48 @@
-// bench_explore: schedule-space explorer coverage and reduction factors.
+// bench_explore: schedule-space explorer coverage, reduction factors, and
+// the parallel-frontier / certificate-store gates.
 //
 // Measures the DPOR explorer (sim/explore.h) against ground truth on the
 // bounded k-converge workload whose schedule spaces are known in closed
 // form: C(8,4) = 70 interleavings at n = 2 and 12!/(4!)^3 = 34650 at
-// n = 3 (63,063,000 at n = 4, enumerated by nobody). Three engines per
-// size where tractable:
+// n = 3 (63,063,000 at n = 4, enumerated by nobody). Engines per size
+// where tractable:
 //
-//   brute   every multiset permutation through a ScriptedPolicy run
-//   dpor    dynamic partial-order reduction + sleep sets
-//   dag     complete stateful search with state-digest memoization
+//   brute     every multiset permutation through a ScriptedPolicy run
+//   dpor      dynamic partial-order reduction + sleep sets
+//   dag       complete stateful search with state-digest memoization
+//   *-fN      the parallel frontier engine with N workers
 //
 // The bench GATES its own correctness (exit non-zero on violation):
 //   * every honest-protocol verdict is kVerified and complete,
 //   * the n = 2 outcome sets of dpor/dag equal the brute-force oracle,
 //   * dpor explores at least 5x fewer schedules than the n = 3
 //     permutation count,
+//   * frontier jobs=4 is BIT-IDENTICAL to jobs=1 (verdict, outcome set,
+//     counterexample, every search counter) and the n = 3 sweep shows a
+//     >= 3x step-makespan reduction at jobs=4,
+//   * a bounded Fig. 1 (n+1 = 3) Upsilon set-agreement instance is
+//     certified by kDpor under the refined FD-independence relation and
+//     cross-checked for outcome-set equality against kDag,
+//   * the persistent certificate store serves warm re-runs (hit), resumes
+//     interrupted frontiers (per-job hits), and cold-misses — never
+//     wrong-hits — on a version mismatch,
 //   * a seeded agreement bug is caught, with a replayable counterexample.
 //
-// Output: a table plus (with --json) BENCH_explore.json. --quick holds
-// the bench to n <= 3 (the CI per-push smoke); full mode adds the n = 4
-// DPOR sweep (nightly).
+// Output: a table plus (with --json) BENCH_explore.json; CI compares the
+// JSON against the committed bench/BENCH_explore.baseline.json with
+// tools/bench_compare.py. --quick holds the bench to n <= 3 (the CI
+// per-push smoke); full mode adds the n = 4 frontier campaign (nightly).
 //
-//   bench_explore [--quick] [--json PATH]
+//   bench_explore [--quick] [--jobs N] [--cache-dir D] [--keep-cache]
+//                 [--json PATH]
+#include <algorithm>
+#include <filesystem>
 #include <functional>
 #include <memory>
 #include <set>
 
 #include "bench_util.h"
+#include "sim/fabric/store.h"
 
 namespace wfd::bench {
 namespace {
@@ -79,6 +95,7 @@ PickVec picksOf(const std::vector<sim::Event>& events, int n) {
   PickVec out(static_cast<std::size_t>(n), {kBottomValue, false});
   for (const auto& e : events) {
     if (e.kind != sim::EventKind::kNote) continue;
+    if (e.label != "commit" && e.label != "adopt") continue;
     out[static_cast<std::size_t>(e.pid)] = {e.value.asInt(),
                                             e.label == "commit"};
   }
@@ -104,17 +121,39 @@ std::string convergeViolation(const PickVec& px, int k) {
 
 struct EngineRow {
   std::uint64_t schedules = 0;
-  std::uint64_t pruned = 0;
+  std::uint64_t sleep_skips = 0;
   std::uint64_t memoized = 0;
   std::uint64_t memo_hits = 0;
   std::uint64_t steps_executed = 0;
   std::uint64_t steps_replayed = 0;
   std::uint64_t restores = 0;
+  std::uint64_t frontier_jobs = 0;
+  long long makespan = 0;
   bool verified = false;
   bool complete = false;
   double seconds = 0;
   std::set<PickVec> outcomes;
 };
+
+EngineRow rowOf(const ExploreResult& res, double seconds, int n) {
+  EngineRow row;
+  row.seconds = seconds;
+  row.schedules = res.schedules_explored;
+  row.sleep_skips = res.sleep_set_skips;
+  row.memoized = res.states_memoized;
+  row.memo_hits = res.memo_hits;
+  row.steps_executed = res.steps_executed;
+  row.steps_replayed = res.steps_replayed;
+  row.restores = res.restores;
+  row.frontier_jobs = res.frontier_jobs;
+  row.makespan = res.stepMakespan();
+  row.verified = res.verdict == ExploreVerdict::kVerified;
+  row.complete = res.complete;
+  for (const auto& [sig, o] : res.outcomes) {
+    row.outcomes.insert(picksOf(o.events, n));
+  }
+  return row;
+}
 
 // Brute force: every distinct multiset permutation, one full run each.
 EngineRow bruteForce(int n, int k) {
@@ -157,34 +196,127 @@ EngineRow bruteForce(int n, int k) {
   return row;
 }
 
-EngineRow explorer(int n, int k, ExploreMode mode,
-                   std::uint64_t max_schedules = 1'000'000) {
-  const std::vector<Value> props = distinctProps(n);
+struct ExplorerOpts {
+  int jobs = 0;  // 0 = classic serial engine
+  std::uint64_t max_schedules = 1'000'000;
+  sim::ResultStore* store = nullptr;
+  std::string family;
+};
+
+ExploreResult runConverge(int n, int k, ExploreMode mode,
+                          const ExplorerOpts& o = {}) {
   ExploreConfig cfg;
   cfg.run.n_plus_1 = n;
   cfg.mode = mode;
-  cfg.max_schedules = max_schedules;
-  cfg.property = [n, k](const ExploreOutcome& o) {
-    return convergeViolation(picksOf(o.events, n), k);
+  cfg.jobs = o.jobs;
+  cfg.max_schedules = o.max_schedules;
+  cfg.certificates = o.store;
+  cfg.cert_family = o.family;
+  cfg.property = [n, k](const ExploreOutcome& out) {
+    return convergeViolation(picksOf(out.events, n), k);
   };
-  const WallTimer t;
-  const ExploreResult res = explore(
-      cfg, [k](Env& e, Value v) { return oneShot(e, k, v); }, props);
-  EngineRow row;
-  row.seconds = t.seconds();
-  row.schedules = res.schedules_explored;
-  row.pruned = res.schedules_pruned;
-  row.memoized = res.states_memoized;
-  row.memo_hits = res.memo_hits;
-  row.steps_executed = res.steps_executed;
-  row.steps_replayed = res.steps_replayed;
-  row.restores = res.restores;
-  row.verified = res.verdict == ExploreVerdict::kVerified;
-  row.complete = res.complete;
-  for (const auto& [sig, o] : res.outcomes) {
-    row.outcomes.insert(picksOf(o.events, n));
+  return explore(
+      cfg, [k](Env& e, Value v) { return oneShot(e, k, v); },
+      distinctProps(n));
+}
+
+// Bounded one-round cut of the Fig. 1 protocol (the
+// core/upsilon_set_agreement loop body at r = 1 with a single gladiator
+// iteration): n-converge, then D, then an Upsilon query splitting
+// gladiators from citizens, then the (|U|-1)-sub-convergence — but a
+// process that would proceed to round 2 finishes UNDECIDED instead of
+// looping. Every decision the cut makes is one the unbounded protocol
+// makes at the same point (a conv commit written to D, or a D read), so
+// k-set agreement over the deciders is exactly the paper's safety
+// property restricted to this prefix — and the workload is finite, which
+// is what lets the explorer certify it. The unbounded loop has
+// adversarial schedules that never converge, so it has no finite
+// schedule space to exhaust.
+Coro<Unit> fig1Bounded(Env& env, Value v) {
+  env.propose(v);
+  const int n = env.nProcs() - 1;
+  const sim::ObjId d_reg = env.reg(sim::ObjKey{"fig1.D"});
+  const Pick p = co_await kConverge(env, sim::ObjKey{"fig1.conv"}, n, v);
+  v = p.value;
+  if (p.committed) {
+    co_await env.write(d_reg, RegVal(v));
+    env.decide(v);
+    co_return Unit{};
   }
-  return row;
+  {
+    const RegVal d = (co_await env.read(d_reg)).scalar;
+    if (!d.isBottom()) {
+      env.decide(d.asInt());
+      co_return Unit{};
+    }
+  }
+  const ProcSet u = (co_await env.queryFd()).scalar.asSet();
+  const sim::ObjId dr_reg = env.reg(sim::ObjKey{"fig1.Dr"});
+  if (!u.contains(env.me())) {
+    env.note("citizen", u);
+    co_await env.write(dr_reg, RegVal(v));
+    co_return Unit{};
+  }
+  env.note("gladiator", u);
+  const Pick g =
+      co_await kConverge(env, sim::ObjKey{"fig1.sub"}, u.size() - 1, v);
+  v = g.value;
+  if (g.committed) co_await env.write(dr_reg, RegVal(v));
+  const RegVal d = (co_await env.read(d_reg)).scalar;
+  if (!d.isBottom()) env.decide(d.asInt());
+  co_return Unit{};
+}
+
+// The Fig. 1 workload at n+1 = 3 with an immediately-stable Upsilon
+// history (stabilizationTime 0), so every FD query sits in the
+// post-stabilization epoch and the refined relation gets to commute
+// them. Property: k-set agreement (k = n - 1 = 2) among the deciders
+// plus validity over the proposal set.
+ExploreResult runFig1(ExploreMode mode, const ExplorerOpts& o = {}) {
+  const int n = 3;
+  ExploreConfig cfg;
+  cfg.run.n_plus_1 = n;
+  cfg.run.fd =
+      fd::makeUpsilon(sim::FailurePattern::failureFree(n), /*stab_time=*/0,
+                      /*seed=*/7);
+  cfg.mode = mode;
+  cfg.jobs = o.jobs;
+  cfg.max_schedules = o.max_schedules;
+  cfg.certificates = o.store;
+  cfg.cert_family = o.family;
+  cfg.property = [n](const ExploreOutcome& out) {
+    std::set<Value> decided;
+    for (const auto& [p, v] : out.decisions) {
+      if (v < 100 || v >= 100 + n) {
+        return std::string("decided a non-proposed value");
+      }
+      decided.insert(v);
+    }
+    if (static_cast<int>(decided.size()) > n - 1) {
+      return std::to_string(decided.size()) + " distinct decisions > k = " +
+             std::to_string(n - 1);
+    }
+    return std::string();
+  };
+  return explore(
+      cfg, [](Env& e, Value v) { return fig1Bounded(e, v); },
+      distinctProps(n));
+}
+
+// The jobs=N ≡ jobs=1 contract: every deterministic field must match.
+bool bitIdentical(const ExploreResult& a, const ExploreResult& b) {
+  return a.verdict == b.verdict && a.violation == b.violation &&
+         a.counterexample == b.counterexample &&
+         a.schedules_explored == b.schedules_explored &&
+         a.sleep_set_skips == b.sleep_set_skips &&
+         a.states_memoized == b.states_memoized &&
+         a.memo_hits == b.memo_hits &&
+         a.steps_executed == b.steps_executed &&
+         a.steps_replayed == b.steps_replayed && a.restores == b.restores &&
+         a.max_depth_seen == b.max_depth_seen && a.complete == b.complete &&
+         a.frontier_jobs == b.frontier_jobs &&
+         a.frontier_depth == b.frontier_depth &&
+         a.outcomeSigs() == b.outcomeSigs();
 }
 
 }  // namespace
@@ -197,8 +329,8 @@ int main(int argc, char** argv) {
   const BenchArgs args = BenchArgs::parse(argc, argv);
 
   banner("schedule-space explorer (sim/explore.h)");
-  Table table({"engine", "n+1", "schedules", "pruned", "memo", "steps",
-               "replayed", "restores", "verdict", "seconds"});
+  Table table({"engine", "n+1", "schedules", "sleeps", "memo", "steps",
+               "replayed", "jobs", "makespan", "verdict", "seconds"});
   JsonWriter json("bench_explore", args.jobs);
   json.note("mode", args.quick ? "quick" : "full");
 
@@ -214,33 +346,43 @@ int main(int argc, char** argv) {
   const auto report = [&](const std::string& name, int n,
                           const EngineRow& row) {
     table.addRow({name, fmt(n), fmt(static_cast<Time>(row.schedules)),
-                  fmt(static_cast<Time>(row.pruned)),
+                  fmt(static_cast<Time>(row.sleep_skips)),
                   fmt(static_cast<Time>(row.memoized)),
                   fmt(static_cast<Time>(row.steps_executed)),
                   fmt(static_cast<Time>(row.steps_replayed)),
-                  fmt(static_cast<Time>(row.restores)),
+                  fmt(static_cast<Time>(row.frontier_jobs)),
+                  fmt(static_cast<Time>(row.makespan)),
                   row.verified ? (row.complete ? "verified" : "cut")
                                : "VIOLATION",
                   fmt(row.seconds)});
     json.row(name,
              {{"n_plus_1", static_cast<double>(n)},
               {"schedules_explored", static_cast<double>(row.schedules)},
-              {"schedules_pruned", static_cast<double>(row.pruned)},
+              {"sleep_set_skips", static_cast<double>(row.sleep_skips)},
               {"states_memoized", static_cast<double>(row.memoized)},
               {"memo_hits", static_cast<double>(row.memo_hits)},
               {"steps_executed", static_cast<double>(row.steps_executed)},
               {"steps_replayed", static_cast<double>(row.steps_replayed)},
               {"restores", static_cast<double>(row.restores)},
+              {"frontier_jobs", static_cast<double>(row.frontier_jobs)},
+              {"step_makespan", static_cast<double>(row.makespan)},
               {"verified", row.verified ? 1.0 : 0.0},
               {"complete", row.complete ? 1.0 : 0.0},
               {"seconds", row.seconds}});
     rows[name] = row;
   };
+  const auto timed = [&](const std::string& name, int n,
+                         const std::function<ExploreResult()>& fn) {
+    const WallTimer t;
+    ExploreResult res = fn();
+    report(name, n, rowOf(res, t.seconds(), n));
+    return res;
+  };
 
   // n = 2: 1-converge, all three engines, outcome sets must agree.
   report("brute-n2", 2, bruteForce(2, 1));
-  report("dpor-n2", 2, explorer(2, 1, ExploreMode::kDpor));
-  report("dag-n2", 2, explorer(2, 1, ExploreMode::kDag));
+  timed("dpor-n2", 2, [] { return runConverge(2, 1, ExploreMode::kDpor); });
+  timed("dag-n2", 2, [] { return runConverge(2, 1, ExploreMode::kDag); });
   gate(rows["brute-n2"].schedules == 70, "brute n=2 enumerates C(8,4) = 70");
   gate(rows["brute-n2"].verified && rows["dpor-n2"].verified &&
            rows["dag-n2"].verified,
@@ -252,8 +394,8 @@ int main(int argc, char** argv) {
 
   // n = 3: 2-converge; brute force only in full mode (34650 runs).
   if (!args.quick) report("brute-n3", 3, bruteForce(3, 2));
-  report("dpor-n3", 3, explorer(3, 2, ExploreMode::kDpor));
-  report("dag-n3", 3, explorer(3, 2, ExploreMode::kDag));
+  timed("dpor-n3", 3, [] { return runConverge(3, 2, ExploreMode::kDpor); });
+  timed("dag-n3", 3, [] { return runConverge(3, 2, ExploreMode::kDag); });
   const double n3_reduction =
       34650.0 / static_cast<double>(rows["dpor-n3"].schedules);
   gate(rows["dpor-n3"].verified && rows["dpor-n3"].complete,
@@ -267,13 +409,165 @@ int main(int argc, char** argv) {
          "dpor n=3 outcome set equals the brute-force oracle");
   }
 
-  // n = 4: DPOR only, full mode only; the permutation count is 6.3e7.
-  if (!args.quick) {
-    report("dpor-n4", 4, explorer(4, 3, ExploreMode::kDpor, 200'000));
-    gate(rows["dpor-n4"].verified, "dpor n=4 finds no violation");
+  // ---- Parallel frontier: jobs=4 ≡ jobs=1 plus the makespan gate ----------
+  {
+    ExplorerOpts j1;
+    j1.jobs = 1;
+    ExplorerOpts j4;
+    j4.jobs = 4;
+    const ExploreResult dpor_f1 =
+        timed("dpor-n3-f1", 3,
+              [&] { return runConverge(3, 2, ExploreMode::kDpor, j1); });
+    const ExploreResult dpor_f4 =
+        timed("dpor-n3-f4", 3,
+              [&] { return runConverge(3, 2, ExploreMode::kDpor, j4); });
+    const ExploreResult dag_f1 =
+        timed("dag-n3-f1", 3,
+              [&] { return runConverge(3, 2, ExploreMode::kDag, j1); });
+    const ExploreResult dag_f4 =
+        timed("dag-n3-f4", 3,
+              [&] { return runConverge(3, 2, ExploreMode::kDag, j4); });
+    gate(bitIdentical(dpor_f1, dpor_f4),
+         "dpor n=3 frontier jobs=4 is bit-identical to jobs=1");
+    gate(bitIdentical(dag_f1, dag_f4),
+         "dag n=3 frontier jobs=4 is bit-identical to jobs=1");
+    gate(dpor_f4.verified() &&
+             dpor_f4.outcomeSigs() == dag_f4.outcomeSigs(),
+         "frontier dpor n=3 verifies and matches the frontier dag outcomes");
+    // Frontier-vs-classic: eager prefixes explore more representatives,
+    // so counts differ by design — the verdict and outcome SET must not.
+    std::set<PickVec> f4_outcomes;
+    for (const auto& [sig, o] : dpor_f4.outcomes) {
+      f4_outcomes.insert(picksOf(o.events, 3));
+    }
+    gate(f4_outcomes == rows["dpor-n3"].outcomes,
+         "frontier dpor n=3 outcome set equals the classic engine's");
+    const double mk1 = static_cast<double>(dpor_f1.stepMakespan());
+    const double mk4 = static_cast<double>(dpor_f4.stepMakespan());
+    const double ratio = mk4 > 0 ? mk1 / mk4 : 0.0;
+    std::printf("frontier n=3 dpor: %llu jobs at depth %d, makespan %lld -> "
+                "%lld steps (%.2fx, utilization %.2f)\n",
+                static_cast<unsigned long long>(dpor_f4.frontier_jobs),
+                dpor_f4.frontier_depth, dpor_f1.stepMakespan(),
+                dpor_f4.stepMakespan(), ratio, dpor_f4.stepUtilization());
+    gate(ratio >= 3.0,
+         "frontier n=3 shows >= 3x step-makespan reduction at jobs=4");
+    json.metric("frontier_n3_makespan_ratio", ratio);
+    json.metric("frontier_n3_jobs",
+                static_cast<double>(dpor_f4.frontier_jobs));
+    json.metric("frontier_n3_utilization", dpor_f4.stepUtilization());
   }
 
-  // The seeded bug: the explorer must catch it with a counterexample.
+  // ---- Fig. 1 (n+1 = 3): first DPOR certificate under the refined
+  // FD-independence relation, cross-checked against the kDag oracle.
+  {
+    const ExploreResult fig1_dpor =
+        timed("fig1-dpor", 3, [] { return runFig1(ExploreMode::kDpor); });
+    const ExploreResult fig1_dag =
+        timed("fig1-dag", 3, [] { return runFig1(ExploreMode::kDag); });
+    gate(fig1_dpor.verified(),
+         "fig1 n+1=3 certified by dpor under the refined FD relation");
+    gate(fig1_dag.verified(), "fig1 n+1=3 certified by the dag oracle");
+    gate(fig1_dpor.outcomeSigs() == fig1_dag.outcomeSigs(),
+         "fig1 dpor outcome set equals the dag oracle's");
+    json.metric("fig1_dpor_schedules",
+                static_cast<double>(fig1_dpor.schedules_explored));
+    json.metric("fig1_dag_schedules",
+                static_cast<double>(fig1_dag.schedules_explored));
+  }
+
+  // ---- Persistent exploration certificates --------------------------------
+  // Skipped under the WFD_AUDIT latch: audited runs are uncacheable BY
+  // DESIGN (an audited run exists to be re-executed and checked, never to
+  // be answered from a store), so there is nothing to gate — the same
+  // degradation bench_fabric applies to its memo phases.
+  if (sim::resolvedAuditMode(std::nullopt).has_value()) {
+    std::printf("note: WFD_AUDIT latch active — certificate phases "
+                "skipped (audited runs bypass the store by design)\n");
+  } else {
+    namespace fs = std::filesystem;
+    const std::string dir =
+        args.cache_dir.empty() ? "bench_explore.store" : args.cache_dir;
+    if (!args.keep_cache) {
+      std::error_code ec;
+      fs::remove_all(dir, ec);
+    }
+    ExplorerOpts certd;
+    certd.jobs = 2;
+    certd.family = "bench_explore.converge.n3k2";
+    sim::fabric::PersistentStore store({dir, "explore-bench-A"});
+    certd.store = &store;
+    const WallTimer t_cold;
+    const ExploreResult cold = runConverge(3, 2, ExploreMode::kDpor, certd);
+    const double cold_s = t_cold.seconds();
+    const WallTimer t_warm;
+    const ExploreResult warm = runConverge(3, 2, ExploreMode::kDpor, certd);
+    const double warm_s = t_warm.seconds();
+    gate(!cold.from_cache && cold.cert_saves > 0,
+         "certificate cold run searches and saves");
+    gate(warm.from_cache, "certificate warm re-run skips the search");
+    gate(warm.verdict == cold.verdict &&
+             warm.schedules_explored == cold.schedules_explored &&
+             warm.outcomeSigs() == cold.outcomeSigs(),
+         "certificate warm result matches the cold run");
+    // Version mismatch: a different store version addresses a different
+    // segment file, so the lookup must COLD-MISS, never wrong-hit.
+    sim::fabric::PersistentStore store_b({dir, "explore-bench-B"});
+    certd.store = &store_b;
+    const ExploreResult mismatch =
+        runConverge(3, 2, ExploreMode::kDpor, certd);
+    gate(!mismatch.from_cache,
+         "certificate version mismatch cold-misses (never wrong-hits)");
+    // Resume: a budget-cut frontier saves per-job certificates, so the
+    // identical re-run answers finished jobs from the store.
+    ExplorerOpts cut = certd;
+    cut.store = &store;
+    cut.max_schedules = 5;  // below any n=3 job subtree: forces the cut
+    cut.family = "bench_explore.converge.n3k2.cut";
+    const ExploreResult cut_a = runConverge(3, 2, ExploreMode::kDag, cut);
+    const ExploreResult cut_b = runConverge(3, 2, ExploreMode::kDag, cut);
+    gate(!cut_a.complete && cut_a.cert_saves > 0,
+         "budget-cut frontier run saves per-job certificates");
+    gate(cut_b.cert_job_hits > 0 &&
+             cut_b.schedules_explored == cut_a.schedules_explored &&
+             cut_b.outcomeSigs() == cut_a.outcomeSigs(),
+         "interrupted frontier resumes from per-job certificates");
+    std::printf("certificates: cold %.3fs -> warm %.3fs (saves %llu, "
+                "resume hits %llu)\n",
+                cold_s, warm_s,
+                static_cast<unsigned long long>(cold.cert_saves),
+                static_cast<unsigned long long>(cut_b.cert_job_hits));
+    json.metric("cert_cold_seconds", cold_s);
+    json.metric("cert_warm_seconds", warm_s);
+    json.metric("cert_warm_hit", warm.from_cache ? 1.0 : 0.0);
+    json.metric("cert_resume_job_hits",
+                static_cast<double>(cut_b.cert_job_hits));
+    if (!args.keep_cache && args.cache_dir.empty()) {
+      std::error_code ec;
+      fs::remove_all(dir, ec);
+    }
+  }
+
+  // n = 4: frontier campaign, full mode only; the permutation count is
+  // 6.3e7. The frontier pushes past the old 200k serial budget.
+  if (!args.quick) {
+    ExplorerOpts o4;
+    o4.jobs = args.jobs > 0 ? args.jobs : 4;
+    o4.max_schedules = 1'000'000;
+    const ExploreResult n4 = timed("dpor-n4-frontier", 4, [&] {
+      return runConverge(4, 3, ExploreMode::kDpor, o4);
+    });
+    gate(n4.verdict == ExploreVerdict::kVerified,
+         "dpor n=4 frontier finds no violation");
+    gate(n4.complete || n4.schedules_explored > 200'000,
+         "dpor n=4 frontier pushes past the 200k serial budget");
+    json.metric("n4_schedules",
+                static_cast<double>(n4.schedules_explored));
+    json.metric("n4_complete", n4.complete ? 1.0 : 0.0);
+  }
+
+  // The seeded bug: the explorer must catch it with a counterexample —
+  // and the frontier engine must catch the SAME one at any worker count.
   {
     ExploreConfig cfg;
     cfg.run.n_plus_1 = 2;
@@ -292,6 +586,19 @@ int main(int argc, char** argv) {
       std::printf("seeded bug caught: %s [schedule: %s]\n",
                   res.violation.c_str(), res.counterexampleString().c_str());
     }
+    ExploreConfig fcfg = cfg;
+    fcfg.jobs = 1;
+    const ExploreResult f1 =
+        explore(fcfg, [](Env& e, Value v) { return buggyOneShot(e, v); },
+                {100, 101});
+    fcfg.jobs = 4;
+    const ExploreResult f4 =
+        explore(fcfg, [](Env& e, Value v) { return buggyOneShot(e, v); },
+                {100, 101});
+    gate(f1.verdict == ExploreVerdict::kViolation &&
+             f1.counterexample == f4.counterexample &&
+             bitIdentical(f1, f4),
+         "frontier catches the seeded bug identically at jobs=1 and jobs=4");
     json.row("bug-hunt-n2",
              {{"schedules_explored",
                static_cast<double>(res.schedules_explored)},
@@ -310,6 +617,20 @@ int main(int argc, char** argv) {
   json.metric("dpor_n3_schedules",
               static_cast<double>(rows["dpor-n3"].schedules));
   json.metric("dpor_n3_reduction_factor", n3_reduction);
+  // Throughput metric for the committed-baseline gate: bench_compare.py
+  // fails on a > 20% rate drop, so de-noise with best-of-3 repetitions of
+  // the ~20 ms n = 3 dpor search (minimum wall time = least interference).
+  double n3_best_seconds = rows["dpor-n3"].seconds;
+  for (int rep = 0; rep < 3; ++rep) {
+    const WallTimer t;
+    (void)runConverge(3, 2, ExploreMode::kDpor);
+    n3_best_seconds = std::min(n3_best_seconds, t.seconds());
+  }
+  json.metric("dpor_n3_sched_per_sec",
+              n3_best_seconds > 0
+                  ? static_cast<double>(rows["dpor-n3"].schedules) /
+                        n3_best_seconds
+                  : 0.0);
   json.metric("gates_failed", gates_failed);
   if (!args.json_path.empty() && !json.write(args.json_path)) return 1;
   return gates_failed == 0 ? 0 : 1;

@@ -1,0 +1,121 @@
+// Work-stealing job pool for the parallel exploration frontier
+// (sim/explore.h). The PR 5 BatchRunner discipline, re-cut for subtree
+// jobs: every worker owns a mutex-guarded deque seeded with a contiguous
+// block of the job index space, pops work from the FRONT of its own
+// deque, and — once drained — steals the BACK HALF of a victim's
+// remaining block. Scheduling decides only WHERE a job runs, never what
+// it computes: the job body must be a pure function of the job index, so
+// steal-vs-static and any worker count produce identical per-job results.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wfd::sim {
+
+class ExplorePool {
+ public:
+  struct Stats {
+    std::size_t steal_ops = 0;     // successful steal-half operations
+    std::size_t stolen_jobs = 0;   // jobs that changed workers
+  };
+
+  // Run fn(job_index, worker_index) for every job in [0, count) on
+  // `workers` threads. Blocks until all jobs ran. fn must be thread-safe
+  // across distinct jobs and a pure function of its job index.
+  static Stats run(std::size_t count, int workers,
+                   const std::function<void(std::size_t, int)>& fn) {
+    Stats stats;
+    if (count == 0) return stats;
+    const int w = std::max(1, std::min<int>(workers,
+                                            static_cast<int>(count)));
+    if (w == 1) {
+      for (std::size_t i = 0; i < count; ++i) fn(i, 0);
+      return stats;
+    }
+
+    struct Deque {
+      std::mutex mu;
+      std::deque<std::size_t> jobs;
+    };
+    std::vector<Deque> deques(static_cast<std::size_t>(w));
+    // Contiguous block seeding: worker k owns [k*count/w, (k+1)*count/w).
+    for (int k = 0; k < w; ++k) {
+      const std::size_t lo = count * static_cast<std::size_t>(k) /
+                             static_cast<std::size_t>(w);
+      const std::size_t hi = count * static_cast<std::size_t>(k + 1) /
+                             static_cast<std::size_t>(w);
+      for (std::size_t i = lo; i < hi; ++i) {
+        deques[static_cast<std::size_t>(k)].jobs.push_back(i);
+      }
+    }
+
+    std::mutex stats_mu;
+    const auto worker = [&](int me) {
+      Deque& mine = deques[static_cast<std::size_t>(me)];
+      for (;;) {
+        std::size_t job = 0;
+        bool have = false;
+        {
+          const std::lock_guard<std::mutex> lk(mine.mu);
+          if (!mine.jobs.empty()) {
+            job = mine.jobs.front();
+            mine.jobs.pop_front();
+            have = true;
+          }
+        }
+        if (!have) {
+          // Drained: steal the back half of the fullest victim.
+          int victim = -1;
+          std::size_t best = 0;
+          for (int k = 0; k < w; ++k) {
+            if (k == me) continue;
+            Deque& d = deques[static_cast<std::size_t>(k)];
+            const std::lock_guard<std::mutex> lk(d.mu);
+            if (d.jobs.size() > best) {
+              best = d.jobs.size();
+              victim = k;
+            }
+          }
+          if (victim < 0) return;  // everything drained everywhere
+          std::vector<std::size_t> taken;
+          {
+            Deque& d = deques[static_cast<std::size_t>(victim)];
+            const std::lock_guard<std::mutex> lk(d.mu);
+            const std::size_t half = (d.jobs.size() + 1) / 2;
+            while (taken.size() < half && !d.jobs.empty()) {
+              taken.push_back(d.jobs.back());
+              d.jobs.pop_back();
+            }
+          }
+          if (taken.empty()) continue;  // raced; rescan
+          {
+            const std::lock_guard<std::mutex> lk(stats_mu);
+            ++stats.steal_ops;
+            stats.stolen_jobs += taken.size();
+          }
+          const std::lock_guard<std::mutex> lk(mine.mu);
+          // Back-half order restored: lowest stolen index runs first.
+          for (auto it = taken.rbegin(); it != taken.rend(); ++it) {
+            mine.jobs.push_back(*it);
+          }
+          continue;
+        }
+        fn(job, me);
+      }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(w));
+    for (int k = 0; k < w; ++k) threads.emplace_back(worker, k);
+    for (auto& t : threads) t.join();
+    return stats;
+  }
+};
+
+}  // namespace wfd::sim

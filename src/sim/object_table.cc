@@ -39,6 +39,7 @@ ObjId ObjectTable::regId(const ObjKey& key) {
   const ObjId id = static_cast<ObjId>(objects_.size());
   objects_.push_back(Object{});
   ids_.emplace(key, id);
+  xdigest_ ^= objectComponent(id, objects_.back());
   return id;
 }
 
@@ -59,6 +60,7 @@ ObjId ObjectTable::snapId(const ObjKey& key, int slots) {
   obj.slots.resize(static_cast<std::size_t>(slots));
   objects_.push_back(std::move(obj));
   ids_.emplace(key, id);
+  xdigest_ ^= objectComponent(id, objects_.back());
   return id;
 }
 
@@ -78,6 +80,7 @@ ObjId ObjectTable::consId(const ObjKey& key, int ports) {
   obj.ports = ports;
   objects_.push_back(std::move(obj));
   ids_.emplace(key, id);
+  xdigest_ ^= objectComponent(id, objects_.back());
   return id;
 }
 
@@ -92,7 +95,9 @@ void ObjectTable::write(ObjId id, RegVal v) {
   observe(id, ObjectAccess::kWrite);
   auto& obj = objects_.at(static_cast<std::size_t>(id));
   assert(obj.kind == Kind::kRegister);
+  xdigest_ ^= objectComponent(id, obj);
   obj.reg = std::move(v);
+  xdigest_ ^= objectComponent(id, obj);
 }
 
 const std::vector<RegVal>& ObjectTable::scan(ObjId id) const {
@@ -106,13 +111,16 @@ void ObjectTable::update(ObjId id, int slot, RegVal v) {
   observe(id, ObjectAccess::kUpdate);
   auto& obj = objects_.at(static_cast<std::size_t>(id));
   assert(obj.kind == Kind::kSnapshot);
+  xdigest_ ^= objectComponent(id, obj);
   obj.slots.at(static_cast<std::size_t>(slot)) = std::move(v);
+  xdigest_ ^= objectComponent(id, obj);
 }
 
 RegVal ObjectTable::propose(ObjId id, Pid proposer, RegVal v) {
   observe(id, ObjectAccess::kPropose);
   auto& obj = objects_.at(static_cast<std::size_t>(id));
   assert(obj.kind == Kind::kConsensus);
+  xdigest_ ^= objectComponent(id, obj);
   if (!obj.proposers.contains(proposer)) {
     obj.proposers.insert(proposer);
     assert(obj.proposers.size() <= obj.ports &&
@@ -120,7 +128,31 @@ RegVal ObjectTable::propose(ObjId id, Pid proposer, RegVal v) {
            "object accepts at most m distinct proposers");
   }
   if (obj.reg.isBottom()) obj.reg = std::move(v);  // first proposal wins
+  xdigest_ ^= objectComponent(id, obj);
   return obj.reg;
+}
+
+std::uint64_t ObjectTable::objectComponent(ObjId id, const Object& obj) {
+  const auto mix = stateMix64;
+  // The id is part of the component: XOR aggregation is order-blind, so
+  // without it two objects swapping contents would cancel out.
+  std::uint64_t h = mix(0x9216D5D98979FB1BULL,
+                        static_cast<std::uint64_t>(id) + 1);
+  h = mix(h, static_cast<std::uint64_t>(obj.kind) + 1);
+  h = mix(h, obj.reg.hash64());
+  h = mix(h, obj.slots.size());
+  for (const RegVal& v : obj.slots) h = mix(h, v.hash64());
+  h = mix(h, obj.proposers.bits());
+  h = mix(h, static_cast<std::uint64_t>(obj.ports));
+  return h;
+}
+
+std::uint64_t ObjectTable::xorContentsDigestFull() const {
+  std::uint64_t h = 0;
+  for (std::size_t i = 0; i < objects_.size(); ++i) {
+    h ^= objectComponent(static_cast<ObjId>(i), objects_[i]);
+  }
+  return h;
 }
 
 std::uint64_t ObjectTable::contentsDigest() const {

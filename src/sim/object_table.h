@@ -115,16 +115,19 @@ class ObjectTable {
     friend class ObjectTable;
     std::map<ObjKey, ObjId> ids;
     std::vector<Object> objects;
+    std::uint64_t xdigest = 0;
   };
   [[nodiscard]] Snapshot snapshot() const {
     Snapshot s;
     s.ids = ids_;
     s.objects = objects_;
+    s.xdigest = xdigest_;
     return s;
   }
   void restore(const Snapshot& s) {
     ids_ = s.ids;
     objects_ = s.objects;
+    xdigest_ = s.xdigest;
   }
 
   // Stable structural digest of the table's entire contents, in creation
@@ -133,6 +136,18 @@ class ObjectTable {
   // digest this depends only on the STATE, not on the op order that
   // produced it, so schedules converging to the same memory agree on it.
   [[nodiscard]] std::uint64_t contentsDigest() const;
+
+  // Order-insensitive XOR-of-components digest of the same contents,
+  // maintained INCREMENTALLY: every mutating access (write/update/
+  // propose) and every object creation re-mixes only the touched object's
+  // component, so reading it is O(1) per explorer step instead of the
+  // O(table) full re-hash contentsDigest() pays. Same state-key
+  // semantics: depends only on the contents, never on the op order.
+  [[nodiscard]] std::uint64_t xorContentsDigest() const { return xdigest_; }
+  // Full recompute of the incremental digest, for audit cross-checks
+  // (the explorer compares it against the maintained value under
+  // WFD_AUDIT and aborts on divergence).
+  [[nodiscard]] std::uint64_t xorContentsDigestFull() const;
 
   // ---- Metadata for auditors (free, never observed) ----
   [[nodiscard]] bool knows(ObjId id) const {
@@ -153,8 +168,13 @@ class ObjectTable {
   void observe(ObjId id, ObjectAccess access) const {
     if (observer_ != nullptr) observer_->onObjectAccess(id, access);
   }
+  // One object's salted component of the XOR digest; XORed out before a
+  // mutation and back in after, so xdigest_ tracks the whole table.
+  [[nodiscard]] static std::uint64_t objectComponent(ObjId id,
+                                                     const Object& obj);
   std::map<ObjKey, ObjId> ids_;
   std::vector<Object> objects_;
+  std::uint64_t xdigest_ = 0;
   AccessObserver* observer_ = nullptr;
 };
 

@@ -69,13 +69,27 @@ enum class OpClass : std::uint8_t {
   kScan,     // snapshot scan
   kUpdate,   // snapshot update (slot-disjoint updates commute)
   kPropose,  // consensus proposal (first wins: never commutes on one object)
-  kFdQuery,  // FD answers are functions of global time: commutes with nothing
+  kFdQuery,  // FD answers are functions of global time; see fd_epoch below
 };
+
+// FD stability-epoch classification of one executed query (kFdQuery only).
+// kFdEpochUnstable means "no stability interval could be certified for
+// this query": its answer may depend on the exact global time of the
+// querying step, so it stays dependent with everything — the original,
+// conservative relation. A non-negative epoch asserts the query's answer
+// is CONSTANT over every global time the step can occupy within its
+// Mazurkiewicz trace class (today the only certified interval is epoch 0,
+// the post-stabilizationTime() tail, where the online axiom checker
+// already enforces H(p, t) = H(q, t') for all t, t' >= tau). The explorer
+// fills this in from the detector's metadata plus the step's causal past;
+// World::execute always reports kFdEpochUnstable.
+inline constexpr int kFdEpochUnstable = -1;
 
 struct OpFootprint {
   OpClass cls = OpClass::kNone;
   ObjId obj = -1;
-  int slot = -1;  // OpSnapUpdate only
+  int slot = -1;      // OpSnapUpdate only
+  int fd_epoch = kFdEpochUnstable;  // OpFdQuery only
 };
 
 [[nodiscard]] inline OpFootprint footprintOf(const Op& op) {
@@ -107,8 +121,18 @@ struct OpFootprint {
 [[nodiscard]] inline bool footprintsCommute(const OpFootprint& a,
                                             const OpFootprint& b) {
   // FD answers depend on the global clock position of the querying step,
-  // and every step advances the clock: never reorder across an FD query.
-  if (a.cls == OpClass::kFdQuery || b.cls == OpClass::kFdQuery) return false;
+  // and every step advances the clock: an UNSTABLE query (fd_epoch < 0)
+  // never reorders across anything. A query certified inside a stability
+  // interval answers a constant of that interval, touches no shared
+  // memory, and no memory operation's result depends on time — so it
+  // commutes with every non-query step, and two certified queries commute
+  // with each other iff they sit in the SAME interval of the one
+  // detector history a run carries (docs/EXPLORE.md soundness argument).
+  if (a.cls == OpClass::kFdQuery && b.cls == OpClass::kFdQuery) {
+    return a.fd_epoch >= 0 && a.fd_epoch == b.fd_epoch;
+  }
+  if (a.cls == OpClass::kFdQuery) return a.fd_epoch >= 0;
+  if (b.cls == OpClass::kFdQuery) return b.fd_epoch >= 0;
   if (a.cls == OpClass::kNone || b.cls == OpClass::kNone) return true;
   if (a.obj != b.obj) return true;  // disjoint objects always commute
   if (a.cls == OpClass::kRead && b.cls == OpClass::kRead) return true;

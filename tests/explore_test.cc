@@ -36,8 +36,9 @@ using sim::footprintsCommute;
 
 // ---- Footprint commutation table -----------------------------------------
 
-OpFootprint fp(OpClass cls, ObjId obj = -1, int slot = -1) {
-  return OpFootprint{cls, obj, slot};
+OpFootprint fp(OpClass cls, ObjId obj = -1, int slot = -1,
+               int fd_epoch = sim::kFdEpochUnstable) {
+  return OpFootprint{cls, obj, slot, fd_epoch};
 }
 
 TEST(Footprints, DisjointObjectsCommute) {
@@ -66,11 +67,46 @@ TEST(Footprints, UpdatesCommuteIffSlotsDiffer) {
       footprintsCommute(fp(OpClass::kUpdate, 1, 0), fp(OpClass::kUpdate, 1, 0)));
 }
 
-TEST(Footprints, FdQueriesNeverCommute) {
-  // FD histories are time-indexed: swapping a query across any step can
-  // change its answer, so queries are ordered events of the run.
+TEST(Footprints, UnstableFdQueriesNeverCommute) {
+  // FD histories are time-indexed: swapping an UNCERTIFIED query across
+  // any step can change its answer, so it stays an ordered event of the
+  // run — the original conservative relation, and what World::execute
+  // always reports (kFdEpochUnstable).
   EXPECT_FALSE(footprintsCommute(fp(OpClass::kFdQuery), fp(OpClass::kNone)));
   EXPECT_FALSE(footprintsCommute(fp(OpClass::kRead, 1), fp(OpClass::kFdQuery)));
+  EXPECT_FALSE(
+      footprintsCommute(fp(OpClass::kFdQuery), fp(OpClass::kFdQuery)));
+}
+
+TEST(Footprints, StableFdQueriesCommuteWithMemorySteps) {
+  // A query certified inside a stability interval answers a constant of
+  // that interval and touches no shared memory, so it commutes with any
+  // memory or local step — no memory op's result depends on time.
+  const OpFootprint stable = fp(OpClass::kFdQuery, -1, -1, 0);
+  EXPECT_TRUE(footprintsCommute(stable, fp(OpClass::kNone)));
+  EXPECT_TRUE(footprintsCommute(stable, fp(OpClass::kRead, 1)));
+  EXPECT_TRUE(footprintsCommute(stable, fp(OpClass::kWrite, 1)));
+  EXPECT_TRUE(footprintsCommute(stable, fp(OpClass::kScan, 1)));
+  EXPECT_TRUE(footprintsCommute(stable, fp(OpClass::kUpdate, 1, 0)));
+  EXPECT_TRUE(footprintsCommute(stable, fp(OpClass::kPropose, 1)));
+  EXPECT_TRUE(footprintsCommute(fp(OpClass::kWrite, 1), stable));
+}
+
+TEST(Footprints, FdQueryPairsCommuteOnlyInsideTheSameEpoch) {
+  const OpFootprint epoch0 = fp(OpClass::kFdQuery, -1, -1, 0);
+  const OpFootprint unstable = fp(OpClass::kFdQuery);
+  // Same certified interval: both answers are the interval's constants,
+  // any order gives the same pair of answers.
+  EXPECT_TRUE(footprintsCommute(epoch0, epoch0));
+  // A stable query never reorders against an unstable one (the swap
+  // moves the unstable query in time), in either argument position.
+  EXPECT_FALSE(footprintsCommute(epoch0, unstable));
+  EXPECT_FALSE(footprintsCommute(unstable, epoch0));
+  // Distinct intervals would not share constants; only equal epochs
+  // commute (today only epoch 0 is ever certified, but the relation is
+  // written for the general interval lattice).
+  EXPECT_FALSE(
+      footprintsCommute(epoch0, fp(OpClass::kFdQuery, -1, -1, 1)));
 }
 
 TEST(Footprints, LocalStepsCommuteWithEverythingElse) {
@@ -250,7 +286,7 @@ TEST(Explore, ThreeProcDporReducesAtLeastFiveFold) {
   // Full permutation count is 12!/(4!)^3 = 34650; the acceptance bar is
   // at least a 5x reduction.
   EXPECT_LE(dpor.schedules_explored, 34650u / 5u);
-  EXPECT_GT(dpor.schedules_pruned, 0u);
+  EXPECT_GT(dpor.sleep_set_skips, 0u);
   EXPECT_GT(dpor.restores, 0u);
 
   // Cross-check the verdict and the outcome set against the complete
@@ -315,6 +351,81 @@ TEST(Explore, SeededBugIsCaughtWithReplayableCounterexample) {
       convergeConfig(2, 1, props, ExploreMode::kDag),
       [](Env& e, Value v) { return buggyOneShot(e, v); }, props);
   EXPECT_EQ(dag.verdict, ExploreVerdict::kViolation);
+}
+
+// ---- Refined FD-independence on a live workload --------------------------
+
+// FD-bearing mini-protocol: two queries bracketing a snapshot update, so
+// the refined relation has real query×query, query×update and query×scan
+// pairs to classify. The noted answers make every query's value part of
+// the outcome signature — a misclassified commutation that changed any
+// answer would split the DPOR and DAG outcome sets.
+Coro<Unit> fdWorkload(Env& env, Value v) {
+  env.propose(v);
+  const sim::OpResult a = co_await env.queryFd();
+  const mem::SnapshotHandle s =
+      mem::makeSnapshot(env, sim::ObjKey{"x.fd"}, env.nProcs());
+  co_await mem::snapshotUpdate(env, s, env.me(), RegVal(v));
+  const sim::OpResult b = co_await env.queryFd();
+  const std::vector<RegVal> view = co_await mem::snapshotScan(env, s);
+  env.note("fd1", a.scalar);
+  env.note("fd2", b.scalar);
+  env.note("seen",
+           RegVal(static_cast<Value>(mem::distinctValues(view).size())));
+  env.decide(v);
+  co_return Unit{};
+}
+
+ExploreResult exploreFdWorkload(ExploreMode mode, Time stab_time) {
+  ExploreConfig cfg;
+  cfg.run.n_plus_1 = 2;
+  cfg.run.fd = fd::makeUpsilon(sim::FailurePattern::failureFree(2), stab_time,
+                               /*seed=*/3);
+  cfg.mode = mode;
+  return explore(cfg, [](Env& e, Value v) { return fdWorkload(e, v); },
+                 {100, 101});
+}
+
+TEST(Explore, RefinedFdRelationMatchesTheDagOracle) {
+  // In the stability window (stab_time = 0: every query is epoch-0
+  // stable) AND out of it (stab_time = 100: no causal past ever spans
+  // 100 steps, so every query stays unstable), DPOR under the refined
+  // relation must reproduce the complete stateful search's outcome set.
+  for (const Time stab : {Time{0}, Time{100}}) {
+    const ExploreResult dpor = exploreFdWorkload(ExploreMode::kDpor, stab);
+    const ExploreResult dag = exploreFdWorkload(ExploreMode::kDag, stab);
+    EXPECT_TRUE(dpor.verified()) << dpor.violation;
+    EXPECT_TRUE(dag.verified()) << dag.violation;
+    EXPECT_EQ(dpor.outcomeSigs(), dag.outcomeSigs()) << "stab=" << stab;
+  }
+}
+
+TEST(Explore, StableQueriesShrinkTheDporSearch) {
+  // The whole point of the refined relation: certified-stable queries
+  // commute, so the stabilized history explores strictly fewer trace
+  // classes than the same workload under a never-certified history.
+  const ExploreResult stable = exploreFdWorkload(ExploreMode::kDpor, 0);
+  const ExploreResult unstable = exploreFdWorkload(ExploreMode::kDpor, 100);
+  EXPECT_LT(stable.schedules_explored, unstable.schedules_explored);
+}
+
+TEST(Explore, StableFdDoesNotOverrideCrashRefusal) {
+  // Query × crash boundary: a stability certificate never licenses DPOR
+  // across a crash time — enabledness still depends on clock position,
+  // so the engine refuses the pattern outright; kDag covers it instead.
+  ExploreConfig cfg;
+  cfg.run.n_plus_1 = 2;
+  cfg.run.fp = sim::FailurePattern::withCrashes(2, {{1, 3}});
+  cfg.run.fd = fd::makeUpsilon(*cfg.run.fp, /*stab_time=*/0, /*seed=*/3);
+  cfg.mode = ExploreMode::kDpor;
+  EXPECT_THROW(
+      explore(cfg, [](Env& e, Value v) { return fdWorkload(e, v); },
+              {100, 101}),
+      sim::SimAbort);
+  cfg.mode = ExploreMode::kDag;
+  const ExploreResult dag = explore(
+      cfg, [](Env& e, Value v) { return fdWorkload(e, v); }, {100, 101});
+  EXPECT_TRUE(dag.verified()) << dag.violation;
 }
 
 // ---- Budget valves and mode preconditions --------------------------------

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Compare a bench JSON report against a committed baseline.
+
+Two classes of check:
+
+  * deterministic counters (schedule counts, frontier job counts, step
+    makespans, gate status) must match the baseline EXACTLY — these are
+    bit-stable properties of the search, so any drift is a semantic
+    change that needs a deliberate baseline update;
+  * throughput metrics (schedules per wall-second) must stay within
+    --min-ratio of the baseline (default 0.8, i.e. fail on a >20%
+    schedule-rate regression). Rates are hardware-sensitive, so only a
+    sustained regression fails the gate, and --min-ratio 0 disables it.
+
+Usage:
+  bench_compare.py --baseline bench/BENCH_explore.baseline.json \
+                   --candidate BENCH_explore.json [--min-ratio 0.8]
+
+Exit status: 0 = within bounds, 1 = regression or mismatch, 2 = usage.
+Candidate and baseline produced by different bench modes (--quick vs
+full) are compared only on the rows/metrics present in BOTH.
+"""
+
+import argparse
+import json
+import sys
+
+# Deterministic per-row counters: exact match required when the row is
+# present in both reports.
+ROW_EXACT = [
+    "schedules_explored",
+    "sleep_set_skips",
+    "states_memoized",
+    "memo_hits",
+    "steps_executed",
+    "steps_replayed",
+    "restores",
+    "frontier_jobs",
+    "step_makespan",
+    "verified",
+    "complete",
+]
+
+# Deterministic top-level metrics: exact match required when present in
+# both. (Seconds-valued and hit-count metrics are excluded: wall time is
+# hardware-bound, and cache hit counts depend on run order.)
+TOP_EXACT = [
+    "frontier_n3_jobs",
+    "fig1_dpor_schedules",
+    "fig1_dag_schedules",
+    "dpor_n3_schedules",
+    "n4_schedules",
+    "n4_complete",
+    "gates_failed",
+]
+
+# Throughput metrics: candidate must be >= min_ratio * baseline.
+RATE_METRICS = [
+    "dpor_n3_sched_per_sec",
+]
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--candidate", required=True)
+    ap.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.8,
+        help="fail when a rate metric drops below this fraction of the "
+        "baseline (default 0.8 = a >20%% regression fails; 0 disables)",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+    failures = []
+    checked = 0
+
+    # step_makespan is deterministic for a FIXED worker count but is a
+    # function of it (the jobs=N ≡ jobs=1 contract excludes it), so when
+    # the two reports ran with different --jobs the rows driven by that
+    # flag may differ legitimately — compare everything else.
+    row_keys = list(ROW_EXACT)
+    if base.get("jobs") != cand.get("jobs"):
+        row_keys.remove("step_makespan")
+
+    base_rows = {r.get("name"): r for r in base.get("rows", [])}
+    cand_rows = {r.get("name"): r for r in cand.get("rows", [])}
+    for name in sorted(set(base_rows) & set(cand_rows)):
+        b, c = base_rows[name], cand_rows[name]
+        for key in row_keys:
+            if key not in b or key not in c:
+                continue
+            checked += 1
+            if b[key] != c[key]:
+                failures.append(
+                    f"row {name}.{key}: baseline {b[key]} != candidate {c[key]}"
+                )
+
+    for key in TOP_EXACT:
+        if key not in base or key not in cand:
+            continue
+        checked += 1
+        if base[key] != cand[key]:
+            failures.append(
+                f"metric {key}: baseline {base[key]} != candidate {cand[key]}"
+            )
+
+    for key in RATE_METRICS:
+        if args.min_ratio <= 0 or key not in base or key not in cand:
+            continue
+        checked += 1
+        b, c = float(base[key]), float(cand[key])
+        if b > 0 and c < args.min_ratio * b:
+            failures.append(
+                f"rate {key}: candidate {c:.0f}/s is "
+                f"{c / b:.2f}x baseline {b:.0f}/s "
+                f"(threshold {args.min_ratio:.2f}x)"
+            )
+
+    if checked == 0:
+        print("bench_compare: no comparable rows or metrics found")
+        return 1
+    for f in failures:
+        print(f"bench_compare REGRESSION: {f}")
+    verdict = "FAIL" if failures else "OK"
+    print(
+        f"bench_compare: {checked} checks against {args.baseline}: {verdict}"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

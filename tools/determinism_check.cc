@@ -448,6 +448,165 @@ void fabricWorkloads(int procs, int jobs, bool steal) {
   std::filesystem::remove_all(dir);
 }
 
+// ---- --explore: the parallel-frontier determinism contract ---------------
+//
+// sim/explore.h promises jobs=N ≡ jobs=1 bit-identically — verdict,
+// outcome-signature set, counterexample, and every search counter — on
+// every configuration. This section holds the frontier engine to it
+// across the golden exploration families (k-converge at n = 2 and n = 3
+// in both modes, an Upsilon-bearing workload under the refined
+// FD-independence relation, and the seeded-bug family whose counterexample
+// must come out identical), and additionally pins steal vs static
+// sharding. Runs EXCLUSIVELY under --explore (its own ctest entry).
+
+sim::Coro<sim::Unit> exploreOneShot(Env& env, int k, Value v) {
+  env.propose(v);
+  const core::Pick p =
+      co_await core::kConverge(env, sim::ObjKey{"x.conv"}, k, v);
+  env.note(p.committed ? "commit" : "adopt", RegVal(p.value));
+  env.decide(p.value);
+  co_return sim::Unit{};
+}
+
+sim::Coro<sim::Unit> exploreBuggy(Env& env, Value v) {
+  env.propose(v);
+  const mem::SnapshotHandle s =
+      mem::makeSnapshot(env, sim::ObjKey{"x.bug"}, env.nProcs());
+  co_await mem::snapshotUpdate(env, s, env.me(), RegVal(v));
+  const std::vector<RegVal> view = co_await mem::snapshotScan(env, s);
+  env.note(mem::distinctValues(view).size() <= 1 ? "commit" : "adopt",
+           RegVal(v));
+  env.decide(v);
+  co_return sim::Unit{};
+}
+
+sim::Coro<sim::Unit> exploreFdBearing(Env& env, Value v) {
+  env.propose(v);
+  const sim::OpResult a = co_await env.queryFd();
+  const mem::SnapshotHandle s =
+      mem::makeSnapshot(env, sim::ObjKey{"x.fd"}, env.nProcs());
+  co_await mem::snapshotUpdate(env, s, env.me(), RegVal(v));
+  const sim::OpResult b = co_await env.queryFd();
+  (void)co_await mem::snapshotScan(env, s);
+  env.note("fd1", a.scalar);
+  env.note("fd2", b.scalar);
+  env.decide(v);
+  co_return sim::Unit{};
+}
+
+std::string exploreConvergeViolation(const sim::ExploreOutcome& o, int k) {
+  bool any_commit = false;
+  std::set<Value> picked;
+  for (const auto& e : o.events) {
+    if (e.kind != sim::EventKind::kNote) continue;
+    if (e.label != "commit" && e.label != "adopt") continue;
+    picked.insert(e.value.asInt());
+    any_commit = any_commit || (e.label == "commit");
+  }
+  if (any_commit && static_cast<int>(picked.size()) > k) {
+    return "commit with " + std::to_string(picked.size()) +
+           " > k distinct picks";
+  }
+  return "";
+}
+
+bool exploreIdentical(const sim::ExploreResult& a,
+                      const sim::ExploreResult& b) {
+  return a.verdict == b.verdict && a.violation == b.violation &&
+         a.counterexample == b.counterexample &&
+         a.schedules_explored == b.schedules_explored &&
+         a.sleep_set_skips == b.sleep_set_skips &&
+         a.states_memoized == b.states_memoized &&
+         a.memo_hits == b.memo_hits && a.steps_executed == b.steps_executed &&
+         a.steps_replayed == b.steps_replayed && a.restores == b.restores &&
+         a.max_depth_seen == b.max_depth_seen && a.complete == b.complete &&
+         a.frontier_jobs == b.frontier_jobs &&
+         a.frontier_depth == b.frontier_depth &&
+         a.outcomeSigs() == b.outcomeSigs();
+}
+
+void exploreWorkloads(int jobs) {
+  std::printf("Explore frontier (jobs=1 vs jobs=%d, every counter):\n", jobs);
+  std::vector<Value> props2 = {100, 101};
+  std::vector<Value> props3 = {100, 101, 102};
+
+  struct Family {
+    std::string name;
+    sim::ExploreConfig cfg;
+    sim::AlgoFn algo;
+    std::vector<Value> props;
+    bool expect_violation = false;
+  };
+  std::vector<Family> families;
+  for (const auto mode : {sim::ExploreMode::kDpor, sim::ExploreMode::kDag}) {
+    const char* mname = mode == sim::ExploreMode::kDpor ? "dpor" : "dag";
+    for (const int n : {2, 3}) {
+      Family f;
+      f.name = std::string("converge-n") + std::to_string(n) + "-" + mname;
+      f.cfg.run.n_plus_1 = n;
+      f.cfg.mode = mode;
+      const int k = n - 1;
+      f.cfg.property = [k](const sim::ExploreOutcome& o) {
+        return exploreConvergeViolation(o, k);
+      };
+      f.algo = [k](Env& e, Value v) { return exploreOneShot(e, k, v); };
+      f.props = n == 2 ? props2 : props3;
+      families.push_back(std::move(f));
+    }
+  }
+  {
+    // The Upsilon family: immediately-stable history, so the refined
+    // FD-independence relation is live in both phases of the frontier.
+    Family f;
+    f.name = "fd-upsilon-n2-dpor";
+    f.cfg.run.n_plus_1 = 2;
+    f.cfg.run.fd = fd::makeUpsilon(FailurePattern::failureFree(2),
+                                   /*stab_time=*/0, /*seed=*/7);
+    f.cfg.mode = sim::ExploreMode::kDpor;
+    f.cfg.property = [](const sim::ExploreOutcome&) { return std::string(); };
+    f.algo = [](Env& e, Value v) { return exploreFdBearing(e, v); };
+    f.props = props2;
+    families.push_back(std::move(f));
+  }
+  {
+    Family f;
+    f.name = "seeded-bug-n2-dpor";
+    f.cfg.run.n_plus_1 = 2;
+    f.cfg.mode = sim::ExploreMode::kDpor;
+    f.cfg.property = [](const sim::ExploreOutcome& o) {
+      return exploreConvergeViolation(o, 1);
+    };
+    f.algo = [](Env& e, Value v) { return exploreBuggy(e, v); };
+    f.props = props2;
+    f.expect_violation = true;
+    families.push_back(std::move(f));
+  }
+
+  for (auto& f : families) {
+    f.cfg.jobs = 1;
+    const sim::ExploreResult one = explore(f.cfg, f.algo, f.props);
+    f.cfg.jobs = jobs;
+    const sim::ExploreResult many = explore(f.cfg, f.algo, f.props);
+    check(exploreIdentical(one, many),
+          f.name + ": jobs=" + std::to_string(jobs) +
+              " bit-identical to jobs=1");
+    f.cfg.steal = false;
+    const sim::ExploreResult stat = explore(f.cfg, f.algo, f.props);
+    f.cfg.steal = true;
+    check(exploreIdentical(many, stat),
+          f.name + ": static sharding matches stealing");
+    if (f.expect_violation) {
+      check(one.verdict == sim::ExploreVerdict::kViolation &&
+                one.counterexample == many.counterexample &&
+                !one.counterexample.empty(),
+            f.name + ": identical counterexample at every worker count");
+    } else {
+      check(one.verdict == sim::ExploreVerdict::kVerified && one.complete,
+            f.name + ": family verified");
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -455,6 +614,7 @@ int main(int argc, char** argv) {
   int procs = 0;
   bool steal = true;
   bool memo = false;
+  bool explore_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       jobs = std::atoi(argv[++i]);
@@ -468,7 +628,20 @@ int main(int argc, char** argv) {
       memo = true;
     } else if (std::strcmp(argv[i], "--no-memo") == 0) {
       memo = false;
+    } else if (std::strcmp(argv[i], "--explore") == 0) {
+      explore_only = true;
     }
+  }
+  if (explore_only) {
+    std::puts("=== determinism check: parallel exploration frontier ===");
+    exploreWorkloads(jobs < 1 ? 1 : jobs);
+    if (g_failures > 0) {
+      std::printf("\ndeterminism check FAILED: %d divergence(s)\n",
+                  g_failures);
+      return 1;
+    }
+    std::puts("\ndeterminism check passed: frontier bit-identical");
+    return 0;
   }
   std::puts("=== determinism check: every workload runs twice per seed ===");
   fig1Workloads();
