@@ -6,25 +6,22 @@
 
 namespace wfd::core {
 
-Coro<Unit> omegaKSetAgreement(Env& env, int k, Value v) {
-  env.propose(v);
+Coro<Value> omegaKSetAgreementInstance(Env& env, int k, int instance,
+                                       Value v) {
   assert(k >= 1);
-  const sim::ObjId d_reg = env.reg(sim::ObjKey{"omk.D"});
+  const sim::ObjId d_reg = env.reg(sim::ObjKey{"omk.D", instance});
 
   for (int r = 1;; ++r) {
-    const Pick p = co_await kConverge(env, sim::ObjKey{"omk.conv", r}, k, v);
+    const Pick p =
+        co_await kConverge(env, sim::ObjKey{"omk.conv", r, instance}, k, v);
     v = p.value;
     if (p.committed) {
       co_await env.write(d_reg, RegVal(v));
-      env.decide(v);
-      co_return Unit{};
+      co_return v;
     }
     {
       const RegVal d = (co_await env.read(d_reg)).scalar;
-      if (!d.isBottom()) {
-        env.decide(d.asInt());
-        co_return Unit{};
-      }
+      if (!d.isBottom()) co_return d.asInt();
     }
 
     // Leader phase for round r+1. Announcements are PER ROUND and carry
@@ -35,8 +32,9 @@ Coro<Unit> omegaKSetAgreement(Env& env, int k, Value v) {
     // agreement — caught by the randomized soak tests.)
     const ProcSet leaders = (co_await env.queryFd()).scalar.asSet();
     if (leaders.contains(env.me())) {
-      co_await env.write(env.reg(sim::ObjKey{"omk.Ann", r + 1, env.me()}),
-                         RegVal(v));
+      co_await env.write(
+          env.reg(sim::ObjKey{"omk.Ann", r + 1, env.me(), instance}),
+          RegVal(v));
     }
     // Adopt some leader's round-r+1 announcement; at most k exist, and
     // after the detector stabilizes one of them is written by a correct
@@ -48,7 +46,8 @@ Coro<Unit> omegaKSetAgreement(Env& env, int k, Value v) {
       bool adopted = false;
       for (Pid q : leaders.members()) {
         const RegVal a =
-            (co_await env.read(env.reg(sim::ObjKey{"omk.Ann", r + 1, q})))
+            (co_await env.read(
+                 env.reg(sim::ObjKey{"omk.Ann", r + 1, q, instance})))
                 .scalar;
         if (!a.isBottom()) {
           v = a.asInt();
@@ -58,14 +57,18 @@ Coro<Unit> omegaKSetAgreement(Env& env, int k, Value v) {
       }
       if (adopted) break;
       const RegVal d = (co_await env.read(d_reg)).scalar;
-      if (!d.isBottom()) {
-        env.decide(d.asInt());
-        co_return Unit{};
-      }
+      if (!d.isBottom()) co_return d.asInt();
       const ProcSet l2 = (co_await env.queryFd()).scalar.asSet();
       if (l2 != leaders) break;  // not stable yet: keep own pick
     }
   }
+}
+
+Coro<Unit> omegaKSetAgreement(Env& env, int k, Value v) {
+  env.propose(v);
+  const Value got = co_await omegaKSetAgreementInstance(env, k, -1, v);
+  env.decide(got);
+  co_return Unit{};
 }
 
 Coro<Unit> omegaConsensus(Env& env, Value v) {

@@ -33,6 +33,15 @@ using sim::Unit;
 // k-set agreement from Omega^k. Requires an Omega^k detector installed.
 Coro<Unit> omegaKSetAgreement(Env& env, int k, Value v);
 
+// Instance form for multi-instance streams (sim/service): every object
+// key carries `instance` as its LAST index, so distinct instances in one
+// world never collide, and `instance = -1` reproduces the one-shot keys
+// byte-for-byte (unused ObjKey indices default to -1). Returns the
+// decided value; the caller proposes/decides (or records a service
+// commit) itself. Each process may invoke a given instance at most once.
+Coro<Value> omegaKSetAgreementInstance(Env& env, int k, int instance,
+                                       Value v);
+
 // Consensus from Omega (k = 1), the Chandra–Hadzilacos–Toueg setting the
 // paper compares against for n+1 = 2 (Sect. 4: Upsilon ~ Omega there).
 Coro<Unit> omegaConsensus(Env& env, Value v);

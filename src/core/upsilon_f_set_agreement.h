@@ -32,4 +32,13 @@ using sim::Unit;
 // Upsilon^f (or stronger) detector; run it under a failure pattern in E_f.
 Coro<Unit> upsilonFSetAgreement(Env& env, int f, Value v);
 
+// Instance form for multi-instance streams (sim/service): every object
+// key carries `instance` as its LAST index so instances sharing one world
+// never collide, and `instance = -1` reproduces the one-shot keys
+// byte-for-byte (unused ObjKey indices default to -1). Returns the
+// decided value; proposing/deciding is the caller's job. Each process may
+// invoke a given instance at most once.
+Coro<Value> upsilonFSetAgreementInstance(Env& env, int f, int instance,
+                                         Value v);
+
 }  // namespace wfd::core

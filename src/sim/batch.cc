@@ -10,6 +10,7 @@
 
 #include "fd/omega.h"
 #include "fd/upsilon.h"
+#include "sim/service/service.h"
 #include "sim/report_cache.h"
 
 namespace wfd::sim {
@@ -121,6 +122,11 @@ CellResult runCell(const BatchCell& cell, std::size_t index) {
   CellResult out;
   out.index = index;
   try {
+    if (cell.service.has_value()) {
+      // A service cell is self-contained: the stream builds its own inner
+      // runs (and chaos engines) from the config alone.
+      return service::runServiceCell(*cell.service, index);
+    }
     if (cell.chaos.has_value() || cell.watchdog.has_value()) {
       const WatchdogConfig wd = cell.watchdog.value_or(WatchdogConfig{});
       RunReport rep;

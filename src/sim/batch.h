@@ -34,6 +34,7 @@
 #include "sim/chaos.h"
 #include "sim/net/realized_fd.h"
 #include "sim/runner.h"
+#include "sim/service/service_config.h"
 #include "sim/watchdog.h"
 
 namespace wfd::sim {
@@ -66,6 +67,11 @@ struct BatchCell {
   // Must be a pure factory: each call returns a fresh policy whose RNG
   // draws depend only on the policy's own construction arguments.
   std::function<std::unique_ptr<SchedulePolicy>()> policy_factory;
+  // Service cell: when set, the cell is a whole replicated-service stream
+  // (sim/service/service.h, runServiceCell) and every other recipe field
+  // above is ignored — a ServiceConfig pins its execution completely.
+  // memo_family still gates memoization; the config's digest() keys it.
+  std::optional<service::ServiceConfig> service;
   // Memoization opt-in (sim/report_cache.h). The family names this cell's
   // OPAQUE callables — algo, post, policy_factory — which a 64-bit digest
   // cannot see: two cells may share a family only if they construct those

@@ -68,6 +68,12 @@ std::optional<std::uint64_t> cellKey(const BatchCell& cell) {
   // A caller-requested audit (explicit or via the WFD_AUDIT latch) means
   // the run must actually execute under the auditor.
   if (resolvedAuditMode(cell.cfg.audit).has_value()) return std::nullopt;
+  // A service cell's execution is pinned entirely by its config digest —
+  // none of the run-cell recipe fields (or their opaque callables) apply.
+  if (cell.service.has_value()) {
+    return mixDigest(digestString(0x5EC1, cell.memo_family),
+                     cell.service->digest());
+  }
   std::uint64_t fd_digest = 0x11;  // distinct constant for "no detector"
   if (cell.cfg.fd != nullptr) {
     fd_digest = cell.cfg.fd->keyDigest();

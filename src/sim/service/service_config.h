@@ -1,0 +1,149 @@
+// Configuration for the replicated agreement service (sim/service).
+//
+// Kept separate from service.h so sim/batch.h can embed a ServiceConfig
+// in a BatchCell without pulling in the service driver (service.h needs
+// batch.h for FdCache/CellResult; this header needs neither).
+//
+// A ServiceConfig pins a whole service execution — stream length,
+// replication group, protocol, detector substrate, chaos plan, seeds —
+// and digest() folds every field, so the ReportCache/PersistentStore can
+// key service cells exactly like one-shot run cells (docs/SERVICE.md).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "fd/failure_detector.h"
+#include "sim/net/net_config.h"
+
+namespace wfd::sim::service {
+
+// Which agreement stack decides each instance of the stream.
+enum class Protocol {
+  kOmegaConsensus,  // Omega-based consensus (k = 1): logs must be identical
+  kFig1Upsilon,     // Fig. 1 wait-free n-set agreement (k = group - 1)
+  kFig2UpsilonF,    // Fig. 2 f-resilient f-set agreement (k = f)
+};
+
+// Where the failure detector history comes from.
+enum class DetectorSource {
+  kConstructed,  // fd/upsilon.h + fd/omega.h constructed histories
+  kRealizedNet,  // heartbeat-realized lenses over NetWorld (sim/net)
+};
+
+// Seeded test-only defects for the negative-control suite: the service's
+// own checkers must provably catch each of them (docs/SERVICE.md).
+enum class ServiceBug {
+  kNone,
+  // Corrupt one replica's harvested decision at a seeded (instance,
+  // replica) before the log-safety check runs: the committed entry
+  // diverges from the canonical log and MUST yield kLogDivergence.
+  kLogDivergence,
+};
+
+// Mid-stream fault plan: every `period` segments one injector fires,
+// rotating through the enabled kinds. All injectors are LEGAL (safety
+// must survive them); illegal-glitch negative controls stay at the chaos
+// layer (tests/chaos_test.cc) where the axiom checker is the instrument.
+struct ChaosPlan {
+  int period = 0;  // fire on segments seg % period == period - 1; 0 = off
+  bool crashes = true;      // crash-injection segments (within the f budget)
+  bool starvation = true;   // bounded starvation windows
+  bool fd_glitch = true;    // legal glitches: scramble noise / delay stab
+  bool link_faults = true;  // realized-net only: drops/partitions pre-GST
+  bool stale_snapshot = false;  // legal stale-but-linearizable scans
+  std::uint64_t seed = 0;       // injector parameter stream
+
+  [[nodiscard]] std::uint64_t digest() const {
+    std::uint64_t h = fd::mixDigest(0xC4A05, static_cast<std::uint64_t>(period));
+    h = fd::mixDigest(h, (crashes ? 2u : 1u));
+    h = fd::mixDigest(h, (starvation ? 2u : 1u));
+    h = fd::mixDigest(h, (fd_glitch ? 2u : 1u));
+    h = fd::mixDigest(h, (link_faults ? 2u : 1u));
+    h = fd::mixDigest(h, (stale_snapshot ? 2u : 1u));
+    return fd::mixDigest(h, seed);
+  }
+};
+
+struct ServiceConfig {
+  // Replication group size: the n+1 of every inner run. Crashed replicas
+  // are retired after their segment and replaced by fresh replica ids,
+  // so the ACTIVE group always has `group` members.
+  int group = 3;
+  // Per-segment crash budget (the f the protocol claims quantify over).
+  int f = 1;
+  Protocol protocol = Protocol::kOmegaConsensus;
+  DetectorSource detector = DetectorSource::kConstructed;
+  // Constructed-detector stabilization time (per segment; each segment is
+  // a fresh inner run whose clock starts at 0).
+  Time stab = 120;
+  // Realized-detector substrate knobs (DetectorSource::kRealizedNet).
+  net::NetConfig net;
+
+  // Stream shape: total instances to decide, cut into segments of
+  // `segment_len` instances — one inner Run per segment (fresh world, so
+  // per-instance object keys never collide across segments and the
+  // detector re-stabilizes per segment).
+  long long instances = 1000;
+  int segment_len = 16;
+
+  // Client model: `clients` independent command sources feed a bounded
+  // inbox refilled to capacity before each segment; commands beyond
+  // capacity are rejected (backpressure, counted in ServiceStats).
+  // 0 capacity = segment_len * group, the smallest inbox for which every
+  // instance of a segment proposes pairwise-distinct commands.
+  int clients = 4;
+  int inbox_capacity = 0;
+
+  std::uint64_t seed = 1;
+
+  // Liveness budgets: a segment gets slack + len * instance budget steps;
+  // on kBudgetExhausted/kLivelock the all-live-committed prefix is kept
+  // and the rest retried with a bumped seed, at most max_retries times
+  // before the service verdict degrades to kStalled.
+  Time instance_step_budget = 30'000;
+  Time segment_budget_slack = 200'000;
+  int max_retries = 3;
+
+  ChaosPlan chaos;
+
+  ServiceBug bug = ServiceBug::kNone;
+  std::uint64_t bug_seed = 0;
+
+  // Max distinct per-instance decisions the protocol admits: the k the
+  // log-safety checker holds every committed instance to.
+  [[nodiscard]] int kBound() const {
+    switch (protocol) {
+      case Protocol::kOmegaConsensus: return 1;
+      case Protocol::kFig1Upsilon: return std::max(1, group - 1);
+      case Protocol::kFig2UpsilonF: return std::max(1, f);
+    }
+    return 1;
+  }
+
+  [[nodiscard]] int effectiveInboxCapacity() const {
+    return std::max(inbox_capacity, segment_len * group);
+  }
+
+  [[nodiscard]] std::uint64_t digest() const {
+    std::uint64_t h = fd::mixDigest(0x5E21C3, static_cast<std::uint64_t>(group));
+    h = fd::mixDigest(h, static_cast<std::uint64_t>(f));
+    h = fd::mixDigest(h, static_cast<std::uint64_t>(protocol));
+    h = fd::mixDigest(h, static_cast<std::uint64_t>(detector));
+    h = fd::mixDigest(h, static_cast<std::uint64_t>(stab));
+    h = fd::mixDigest(h, net.digest());
+    h = fd::mixDigest(h, static_cast<std::uint64_t>(instances));
+    h = fd::mixDigest(h, static_cast<std::uint64_t>(segment_len));
+    h = fd::mixDigest(h, static_cast<std::uint64_t>(clients));
+    h = fd::mixDigest(h, static_cast<std::uint64_t>(inbox_capacity));
+    h = fd::mixDigest(h, seed);
+    h = fd::mixDigest(h, static_cast<std::uint64_t>(instance_step_budget));
+    h = fd::mixDigest(h, static_cast<std::uint64_t>(segment_budget_slack));
+    h = fd::mixDigest(h, static_cast<std::uint64_t>(max_retries));
+    h = fd::mixDigest(h, chaos.digest());
+    h = fd::mixDigest(h, static_cast<std::uint64_t>(bug));
+    return fd::mixDigest(h, bug_seed);
+  }
+};
+
+}  // namespace wfd::sim::service

@@ -13,6 +13,7 @@
 //     the store only when cache_dir is set.
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -205,6 +206,65 @@ TEST(PersistentStore, CorruptedRecordDegradesToColdMiss) {
   EXPECT_FALSE(store.load(2).has_value());
   store.save(3, sampleResult(3));  // handle still usable for new appends
   EXPECT_FALSE(store.load(3).has_value());  // but reads stay cold: fine
+}
+
+TEST(PersistentStore, CrashMidWriteFencesTheTornTail) {
+  const std::string dir = freshDir("crashmidwrite");
+  const std::string path = PersistentStore::segmentPath(dir, "v1");
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: one clean append, then die mid-record. The store's own
+    // save() only writes whole records, so the torn write is simulated
+    // the way a real crash produces it — a raw O_APPEND write that
+    // covers the record header and a few payload bytes of a SECOND
+    // record, then _exit (no destructors, no flush, fd reaped by the
+    // kernel exactly as in a SIGKILL).
+    PersistentStore store(StoreOptions{dir, "v1"});
+    store.save(11, sampleResult(11));
+    if (!store.healthy()) _exit(1);
+    const int raw = ::open(path.c_str(), O_WRONLY | O_APPEND);
+    if (raw < 0) _exit(2);
+    std::uint8_t torn[21];  // 16-byte header + 5 of a claimed 40 bytes
+    const std::uint32_t magic = 0xCE11CA5Eu;
+    const std::uint64_t key = 12;
+    for (int i = 0; i < 4; ++i)
+      torn[i] = static_cast<std::uint8_t>(magic >> (8 * i));
+    for (int i = 0; i < 8; ++i)
+      torn[4 + i] = static_cast<std::uint8_t>(key >> (8 * i));
+    const std::uint32_t claimed_len = 40;
+    for (int i = 0; i < 4; ++i)
+      torn[12 + i] = static_cast<std::uint8_t>(claimed_len >> (8 * i));
+    torn[16] = torn[17] = torn[18] = torn[19] = torn[20] = 0x5A;
+    if (::write(raw, torn, sizeof torn) != sizeof torn) _exit(3);
+    _exit(0);
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status)) << "child crashed for the wrong reason";
+  ASSERT_EQ(WEXITSTATUS(status), 0);
+
+  // The survivor's fresh open fences the tail: the intact record is
+  // served, the torn one is a cold miss (its header claims more bytes
+  // than the file holds, i.e. a writer that died mid-write), and the
+  // handle stays healthy.
+  PersistentStore store(StoreOptions{dir, "v1"});
+  ASSERT_TRUE(store.healthy());
+  const auto got = store.load(11);
+  ASSERT_TRUE(got.has_value());
+  expectIdentical(sampleResult(11), *got, "record before the crash");
+  EXPECT_FALSE(store.load(12).has_value());
+  EXPECT_EQ(store.records(), 1u);
+
+  // Appending past the torn tail is durable but fenced: the scan now
+  // finds the claimed 40 payload bytes (spanning into the new record),
+  // the checksum rejects them, and everything behind the damage stays a
+  // cold miss — never a wrong hit, and the pre-crash record still hits.
+  store.save(13, sampleResult(13));
+  EXPECT_EQ(store.appends(), 1u);
+  EXPECT_FALSE(store.load(13).has_value());
+  EXPECT_FALSE(store.load(12).has_value());
+  ASSERT_TRUE(store.load(11).has_value());
 }
 
 TEST(PersistentStore, ConcurrentWritersFromTwoProcesses) {

@@ -15,13 +15,21 @@ Two classes of check:
 Usage:
   bench_compare.py --baseline bench/BENCH_explore.baseline.json \
                    --candidate BENCH_explore.json [--min-ratio 0.8]
+  bench_compare.py --self-test
 
 Exit status: 0 = within bounds, 1 = regression or mismatch, 2 = usage.
 Candidate and baseline produced by different bench modes (--quick vs
 full) are compared only on the rows/metrics present in BOTH.
+
+--self-test runs the gate against built-in fixtures (exact-counter
+mismatch, the rate-ratio boundary, the differing---jobs step_makespan
+exclusion) and exits 0 only if the gate's own behavior is intact; CI
+runs it as tools.bench_compare_selftest so a refactor of this script
+cannot silently defang the perf gate.
 """
 
 import argparse
+import copy
 import json
 import sys
 
@@ -69,21 +77,8 @@ def load(path):
         sys.exit(2)
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--baseline", required=True)
-    ap.add_argument("--candidate", required=True)
-    ap.add_argument(
-        "--min-ratio",
-        type=float,
-        default=0.8,
-        help="fail when a rate metric drops below this fraction of the "
-        "baseline (default 0.8 = a >20%% regression fails; 0 disables)",
-    )
-    args = ap.parse_args()
-
-    base = load(args.baseline)
-    cand = load(args.candidate)
+def compare(base, cand, min_ratio):
+    """The gate itself: (failures, checked) for a baseline/candidate pair."""
     failures = []
     checked = 0
 
@@ -118,16 +113,117 @@ def main():
             )
 
     for key in RATE_METRICS:
-        if args.min_ratio <= 0 or key not in base or key not in cand:
+        if min_ratio <= 0 or key not in base or key not in cand:
             continue
         checked += 1
         b, c = float(base[key]), float(cand[key])
-        if b > 0 and c < args.min_ratio * b:
+        if b > 0 and c < min_ratio * b:
             failures.append(
                 f"rate {key}: candidate {c:.0f}/s is "
                 f"{c / b:.2f}x baseline {b:.0f}/s "
-                f"(threshold {args.min_ratio:.2f}x)"
+                f"(threshold {min_ratio:.2f}x)"
             )
+
+    return failures, checked
+
+
+def self_test():
+    """Certify the gate's own behavior against built-in fixtures."""
+    base = {
+        "bench": "explore",
+        "jobs": 4,
+        "dpor_n3_schedules": 1000,
+        "dpor_n3_sched_per_sec": 5000.0,
+        "rows": [
+            {
+                "name": "dpor/n3",
+                "schedules_explored": 1000,
+                "step_makespan": 420,
+                "verified": 1,
+            }
+        ],
+    }
+    failed = []
+
+    def expect(label, cond):
+        if not cond:
+            failed.append(label)
+        print(f"  {'ok' if cond else 'FAIL'}: {label}")
+
+    # 1. A report compared against itself is clean.
+    f, checked = compare(base, copy.deepcopy(base), 0.8)
+    expect("identical reports pass", not f and checked > 0)
+
+    # 2. An exact-counter drift is a failure, top-level and per-row.
+    cand = copy.deepcopy(base)
+    cand["dpor_n3_schedules"] = 1001
+    f, _ = compare(base, cand, 0.8)
+    expect("top-level counter mismatch fails", len(f) == 1)
+    cand = copy.deepcopy(base)
+    cand["rows"][0]["schedules_explored"] = 999
+    f, _ = compare(base, cand, 0.8)
+    expect("per-row counter mismatch fails", len(f) == 1)
+
+    # 3. The rate-ratio boundary: exactly min_ratio * baseline passes
+    #    (the check is strict-less-than), epsilon below fails.
+    cand = copy.deepcopy(base)
+    cand["dpor_n3_sched_per_sec"] = 4000.0  # exactly 0.8x
+    f, _ = compare(base, cand, 0.8)
+    expect("rate at exactly 0.8x passes", not f)
+    cand["dpor_n3_sched_per_sec"] = 3999.0
+    f, _ = compare(base, cand, 0.8)
+    expect("rate below 0.8x fails", len(f) == 1)
+    f, _ = compare(base, cand, 0)
+    expect("--min-ratio 0 disables the rate gate", not f)
+
+    # 4. Differing --jobs: step_makespan is excluded, everything else
+    #    still compared.
+    cand = copy.deepcopy(base)
+    cand["jobs"] = 8
+    cand["rows"][0]["step_makespan"] = 210
+    f, _ = compare(base, cand, 0.8)
+    expect("step_makespan skipped across differing jobs", not f)
+    cand["rows"][0]["schedules_explored"] = 999
+    f, _ = compare(base, cand, 0.8)
+    expect("other rows still compared across differing jobs", len(f) == 1)
+
+    # 5. Nothing comparable is a failure, not a silent pass.
+    f, checked = compare({"rows": []}, {"rows": []}, 0.8)
+    expect("empty intersection yields zero checks", checked == 0)
+
+    if failed:
+        print(f"bench_compare --self-test: {len(failed)} FAILURE(S)")
+        return 1
+    print("bench_compare --self-test: OK")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline")
+    ap.add_argument("--candidate")
+    ap.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.8,
+        help="fail when a rate metric drops below this fraction of the "
+        "baseline (default 0.8 = a >20%% regression fails; 0 disables)",
+    )
+    ap.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the gate against built-in fixtures and exit",
+    )
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.candidate:
+        ap.error("--baseline and --candidate are required (or --self-test)")
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+    failures, checked = compare(base, cand, args.min_ratio)
 
     if checked == 0:
         print("bench_compare: no comparable rows or metrics found")
